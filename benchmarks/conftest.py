@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark runs one experiment from :mod:`repro.experiments` exactly once
+(rounds=1) under the laptop-scale ``quick`` preset and attaches the resulting
+table rows to the benchmark's ``extra_info`` so they appear in
+``pytest-benchmark``'s JSON output.  The goal of these benches is to
+*regenerate the paper's tables and figures*, not to micro-benchmark Python.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The scale preset shared by every benchmark (override here for paper scale)."""
+    return ExperimentScale.quick()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def attach_rows(benchmark, result) -> None:
+    """Store an ExperimentResult's rows in the benchmark's extra info."""
+    benchmark.extra_info["experiment"] = result.name
+    benchmark.extra_info["scale"] = result.scale_label
+    benchmark.extra_info["rows"] = result.rows

@@ -1,0 +1,46 @@
+"""Benchmark harness for the Section 2.3 ablations (preemption, EDF, omniscient)."""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import format_result
+from repro.experiments.ablations import (
+    run_edf_equivalence,
+    run_omniscient_ablation,
+    run_preemption_ablation,
+)
+
+
+def test_ablation_preemptive_lstf(benchmark, scale):
+    """Preemption rescues the skew-heavy SJF/LIFO originals (Section 2.3 item 5)."""
+    result = run_once(benchmark, run_preemption_ablation, scale)
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+    by_key = {(row["original"], row["replay_mode"]): row for row in result.rows}
+    for original in ("sjf", "lifo"):
+        nonpreemptive = by_key[(original, "lstf")]["fraction_overdue"]
+        preemptive = by_key[(original, "lstf-preemptive")]["fraction_overdue"]
+        assert preemptive <= nonpreemptive
+
+
+def test_ablation_edf_equivalence(benchmark, scale):
+    """Network-wide EDF and LSTF replay the same schedule identically (Appendix E)."""
+    result = run_once(benchmark, run_edf_equivalence, scale)
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+    by_mode = {row["replay_mode"]: row for row in result.rows}
+    assert abs(by_mode["edf"]["fraction_overdue"] - by_mode["lstf"]["fraction_overdue"]) < 1e-9
+
+
+def test_ablation_omniscient_initialization(benchmark, scale):
+    """Omniscient per-hop initialization replays perfectly (Appendix B)."""
+    result = run_once(benchmark, run_omniscient_ablation, scale)
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+    by_mode = {row["replay_mode"]: row for row in result.rows}
+    assert by_mode["omniscient"]["fraction_overdue"] == 0.0
+    assert by_mode["lstf"]["fraction_overdue"] < 0.2

@@ -1,0 +1,26 @@
+"""Benchmark harness for Figure 1: queueing-delay ratio CDFs (LSTF replay vs original)."""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import format_result
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1_queueing_delay_ratio_cdf(benchmark, scale):
+    """CDF summaries of (LSTF queueing delay / original queueing delay) per scheduler."""
+    result = run_once(
+        benchmark,
+        run_figure1,
+        scale,
+        schedulers=("random", "fifo", "fq", "sjf", "lifo", "fq+fifo+"),
+    )
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+    # Paper shape: for every original scheduler, the bulk of packets see no
+    # more queueing in the LSTF replay than in the original schedule.
+    for row in result.rows:
+        assert row["fraction_at_most_1"] > 0.5
+        assert row["median_ratio"] <= 1.5

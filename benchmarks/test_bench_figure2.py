@@ -1,0 +1,22 @@
+"""Benchmark harness for Figure 2: mean FCT under FIFO / SRPT / SJF / LSTF."""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import format_result
+from repro.experiments.figure2 import run_figure2
+
+
+def test_figure2_mean_fct(benchmark, scale):
+    """Mean flow completion time per scheduler (plus small/large flow breakdown)."""
+    result = run_once(benchmark, run_figure2, scale)
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+    fct = {row["scheduler"]: row["mean_fct"] for row in result.rows}
+    # Paper shape: FIFO is clearly the worst; LSTF tracks SJF/SRPT closely.
+    assert fct["fifo"] > fct["sjf"]
+    assert fct["fifo"] > fct["lstf"]
+    assert fct["lstf"] <= fct["fifo"] * 0.95
+    assert abs(fct["lstf"] - fct["sjf"]) <= 0.35 * fct["sjf"]

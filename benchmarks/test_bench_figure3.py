@@ -1,0 +1,23 @@
+"""Benchmark harness for Figure 3: tail packet delays, FIFO versus LSTF-as-FIFO+."""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import format_result
+from repro.experiments.figure3 import run_figure3
+
+
+def test_figure3_tail_packet_delay(benchmark, scale):
+    """Mean and 99th-percentile packet delay for FIFO and LSTF(constant slack)."""
+    result = run_once(benchmark, run_figure3, scale, schedulers=("fifo", "lstf", "fifo+"))
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+    stats = {row["scheduler"]: row for row in result.rows}
+    # Paper shape: nearly identical means, smaller (or at least no larger)
+    # 99th percentile for LSTF/FIFO+ than for FIFO.
+    assert stats["lstf"]["mean_delay"] <= stats["fifo"]["mean_delay"] * 1.1
+    assert stats["lstf"]["p99_delay"] <= stats["fifo"]["p99_delay"] * 1.02
+    # LSTF with a constant slack is the same policy as FIFO+.
+    assert stats["lstf"]["p99_delay"] <= stats["fifo+"]["p99_delay"] * 1.1

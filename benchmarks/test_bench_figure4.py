@@ -1,0 +1,29 @@
+"""Benchmark harness for Figure 4: asymptotic fairness of LSTF slack assignment."""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import format_result
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4_fairness_convergence(benchmark, scale):
+    """Jain-index convergence for FIFO, FQ, and LSTF at several rest estimates."""
+    result = run_once(benchmark, run_figure4, scale)
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+    final = {row["scheduler"]: row["final_fairness"] for row in result.rows}
+    reach = {row["scheduler"]: row["time_to_90pct"] for row in result.rows}
+    # Paper shape: FQ converges to ~1; every LSTF rest value also converges to
+    # ~1 (asymptotic fairness even when rest is 100x below the fair share).
+    assert final["fq"] > 0.95
+    lstf_rows = [name for name in final if name.startswith("lstf@")]
+    assert lstf_rows
+    for name in lstf_rows:
+        assert final[name] > 0.9
+    # FIFO is slower to approach the fair allocation than FQ and LSTF.
+    fifo_reach = reach["fifo"] if reach["fifo"] is not None else float("inf")
+    fq_reach = reach["fq"] if reach["fq"] is not None else float("inf")
+    assert fq_reach <= fifo_reach

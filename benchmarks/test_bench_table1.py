@@ -1,0 +1,106 @@
+"""Benchmark harness for Table 1: LSTF replayability across scenarios.
+
+Each bench regenerates one row group of the paper's Table 1 (at quick scale)
+and prints the rows, so running ``pytest benchmarks/ --benchmark-only -s``
+reproduces the table.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import format_result
+from repro.experiments.config import ExperimentResult
+from repro.experiments.table1 import (
+    default_scenario,
+    run_priority_comparison,
+    run_scenario,
+    run_table1,
+    table1_scenarios,
+)
+
+
+def _run_rows(scale, scenarios):
+    result = ExperimentResult(name="table1", scale_label=scale.label)
+    for scenario in scenarios:
+        result.rows.append(run_scenario(scenario))
+    return result
+
+
+def test_table1_default_scenario(benchmark, scale):
+    """Row 1: the default I2 1G-10G / 70% / Random-scheduler cell."""
+    result = run_once(benchmark, _run_rows, scale, [default_scenario(scale)])
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+    row = result.rows[0]
+    assert row["fraction_overdue_beyond_T"] <= row["fraction_overdue"] <= 1.0
+
+
+def test_table1_utilization_sweep(benchmark, scale):
+    """Row 2: utilization varied from 10% to 90% on the default topology."""
+    scenarios = [
+        default_scenario(scale, utilization=u, name=f"I2-1G-10G@{int(u * 100)}")
+        for u in (0.1, 0.3, 0.5, 0.7, 0.9)
+    ]
+    result = run_once(benchmark, _run_rows, scale, scenarios)
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+
+
+def test_table1_link_speed_variants(benchmark, scale):
+    """Row 3: I2 1G-1G and I2 10G-10G access/edge bandwidth variants."""
+    scenarios = [
+        default_scenario(scale, name="I2-1G-1G", edge_core_gbps=1.0, host_edge_gbps=1.0),
+        default_scenario(scale, name="I2-10G-10G", edge_core_gbps=10.0, host_edge_gbps=10.0),
+    ]
+    result = run_once(benchmark, _run_rows, scale, scenarios)
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+
+
+def test_table1_other_topologies(benchmark, scale):
+    """Row 4: RocketFuel-like and datacenter fat-tree topologies."""
+    scenarios = [s for s in table1_scenarios(scale) if s.name in ("RocketFuel", "Datacenter")]
+    result = run_once(benchmark, _run_rows, scale, scenarios)
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+
+
+def test_table1_original_schedulers(benchmark, scale):
+    """Row 5: FIFO / FQ / SJF / LIFO / FQ+FIFO+ original schedules."""
+    scenarios = [
+        default_scenario(scale, original=name, name=f"I2-1G-10G-{name}")
+        for name in ("fifo", "fq", "sjf", "lifo", "fq+fifo+")
+    ]
+    result = run_once(benchmark, _run_rows, scale, scenarios)
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+    by_original = {row["original"]: row for row in result.rows}
+    # Paper shape: the skew-heavy SJF/LIFO originals are the hardest to replay.
+    easy = max(by_original[name]["fraction_overdue"] for name in ("fifo", "fq"))
+    hard = max(by_original[name]["fraction_overdue"] for name in ("sjf", "lifo"))
+    assert hard >= easy
+
+
+def test_table1_priority_comparison(benchmark, scale):
+    """Section 2.3 (7): simple-priority replay versus LSTF replay."""
+    result = run_once(benchmark, run_priority_comparison, scale)
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+    by_mode = {row["replay_mode"]: row for row in result.rows}
+    assert by_mode["lstf"]["fraction_overdue"] <= by_mode["priority"]["fraction_overdue"]
+
+
+def test_table1_full(benchmark, scale):
+    """The complete Table 1 sweep in one run (every row group)."""
+    result = run_once(benchmark, run_table1, scale)
+    attach_rows(benchmark, result)
+    print()
+    print(format_result(result))
+    assert len(result.rows) >= 13

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: record a schedule and replay it with LSTF.
+
+This is the smallest end-to-end use of the library's public API:
+
+1. build a topology (a dumbbell: several hosts sharing one bottleneck),
+2. run a UDP workload through it with an arbitrary "original" scheduler
+   (here: the Random scheduler, the paper's hardest case),
+3. replay the recorded schedule with LSTF at every router,
+4. report how many packets missed their original output times.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import ReplayExperiment
+from repro.topology import dumbbell_topology
+from repro.traffic import WorkloadSpec, paper_default_workload
+from repro.utils import mbps
+
+
+def main() -> None:
+    # A dumbbell: 6 sources and 6 sinks sharing a 20 Mbps bottleneck through
+    # two routers, with 100 Mbps access links.
+    topology = dumbbell_topology(
+        num_pairs=6,
+        bottleneck_bandwidth_bps=mbps(20),
+        access_bandwidth_bps=mbps(100),
+    )
+
+    # A heavy-tailed UDP workload at 70% utilization of the bottleneck.
+    workload = WorkloadSpec(
+        utilization=0.7,
+        reference_bandwidth_bps=mbps(20),
+        size_distribution=paper_default_workload(),
+        transport="udp",
+        duration=0.5,
+    )
+
+    sources = [name for name in topology.host_names() if name.startswith("src")]
+    sinks = [name for name in topology.host_names() if name.startswith("dst")]
+
+    experiment = ReplayExperiment(
+        topology, "random", workload, seed=42, sources=sources, destinations=sinks
+    )
+
+    print("Recording the original (Random-scheduler) schedule ...")
+    original = experiment.record()
+    print(f"  recorded {len(original)} packets; "
+          f"max congestion points per packet = {original.max_congestion_points()}")
+
+    for mode in ("lstf", "priority", "omniscient"):
+        result = experiment.replay(mode=mode)
+        print(
+            f"Replay with {mode:<11}: "
+            f"{result.overdue_fraction:6.2%} of packets overdue, "
+            f"{result.overdue_beyond_threshold_fraction:6.2%} overdue by more than "
+            f"T={result.metrics.threshold * 1e6:.0f} us"
+        )
+
+    print("\nExpected shape (paper, Section 2.3): LSTF and omniscient replay almost "
+          "perfectly; simple priorities miss far more packets.")
+
+
+if __name__ == "__main__":
+    main()

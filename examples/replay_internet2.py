@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Replay experiment on the Internet2-like topology (one Table-1 cell).
+
+Reproduces a single cell of the paper's Table 1: pick an original scheduling
+algorithm and a network utilization, record the schedule it produces on the
+Internet2-like topology, replay it with LSTF, and report the fraction of
+overdue packets.
+
+Run with::
+
+    python examples/replay_internet2.py --original random --utilization 0.7
+    python examples/replay_internet2.py --original sjf --replay-mode lstf-preemptive
+"""
+
+import argparse
+
+from repro.experiments import ExperimentScale
+from repro.experiments.table1 import default_scenario, run_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--original",
+        default="random",
+        help="original scheduler: random, fifo, lifo, fq, sjf, fq+fifo+ (default: random)",
+    )
+    parser.add_argument(
+        "--utilization", type=float, default=0.7, help="network utilization in (0, 1]"
+    )
+    parser.add_argument(
+        "--replay-mode",
+        default="lstf",
+        help="candidate UPS: lstf, lstf-preemptive, priority, edf, omniscient",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full topology and bandwidths (slow!)",
+    )
+    args = parser.parse_args()
+
+    scale = ExperimentScale.paper() if args.paper_scale else ExperimentScale.quick()
+    scenario = default_scenario(
+        scale,
+        utilization=args.utilization,
+        original=args.original,
+        replay_mode=args.replay_mode,
+    )
+    print(
+        f"Running {scenario.name}: original={args.original}, "
+        f"utilization={args.utilization:.0%}, replay mode={args.replay_mode} "
+        f"({scale.label} scale)"
+    )
+    row = run_scenario(scenario)
+    print(f"  packets recorded            : {row['packets']}")
+    print(f"  fraction overdue            : {row['fraction_overdue']:.4f}")
+    print(f"  fraction overdue by more T  : {row['fraction_overdue_beyond_T']:.4f}")
+    print(f"  threshold T                 : {row['threshold'] * 1e6:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""The paper's primary contribution: schedules, slack initialization, replay, and theory."""
+
+from repro.core.metrics import (
+    ReplayMetrics,
+    compare_schedules,
+    fraction_overdue,
+    lateness_distribution,
+)
+from repro.core.replay import (
+    REPLAY_MODES,
+    ReplayExperiment,
+    ReplayInjector,
+    ReplayResult,
+    evaluate_replay,
+    original_scheduler_factory,
+    record_schedule,
+    replay_schedule,
+)
+from repro.core.schedule import HopTiming, PacketRecord, Schedule
+from repro.core.slack import (
+    BlackBoxSlackInitializer,
+    ConstantSlackPolicy,
+    FairnessSlackPolicy,
+    FlowSizeSlackPolicy,
+    NullSlackPolicy,
+    OmniscientInitializer,
+    OutputTimePriorityInitializer,
+    ReplayInitializer,
+    SlackPolicy,
+)
+from repro.core.theory import (
+    TheoryExample,
+    appendix_c_example,
+    appendix_f_example,
+    appendix_g_example,
+    has_priority_cycle,
+    identical_blackbox_views,
+    priority_order_constraints,
+)
+
+__all__ = [
+    "Schedule",
+    "PacketRecord",
+    "HopTiming",
+    "ReplayMetrics",
+    "compare_schedules",
+    "fraction_overdue",
+    "lateness_distribution",
+    "ReplayExperiment",
+    "ReplayResult",
+    "ReplayInjector",
+    "REPLAY_MODES",
+    "evaluate_replay",
+    "replay_schedule",
+    "record_schedule",
+    "original_scheduler_factory",
+    "ReplayInitializer",
+    "BlackBoxSlackInitializer",
+    "OutputTimePriorityInitializer",
+    "OmniscientInitializer",
+    "SlackPolicy",
+    "FlowSizeSlackPolicy",
+    "ConstantSlackPolicy",
+    "FairnessSlackPolicy",
+    "NullSlackPolicy",
+    "TheoryExample",
+    "appendix_c_example",
+    "appendix_f_example",
+    "appendix_g_example",
+    "priority_order_constraints",
+    "has_priority_cycle",
+    "identical_blackbox_views",
+]

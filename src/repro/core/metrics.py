@@ -1,0 +1,138 @@
+"""Replay evaluation metrics.
+
+Section 2.3 evaluates a replay with two headline numbers — the fraction of
+packets that are *overdue* (exit later than in the original schedule) and the
+fraction overdue by more than a threshold ``T`` (one transmission time on the
+bottleneck link) — plus the CDF of per-packet queueing-delay ratios shown in
+Figure 1.  This module computes all three from a pair of schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.schedule import Schedule
+
+
+@dataclass
+class ReplayMetrics:
+    """Comparison of a replay against the original schedule it targeted.
+
+    Attributes:
+        total_packets: Number of packets matched between the two schedules.
+        missing_packets: Packets of the original schedule that never exited
+            in the replay (e.g. still queued when the replay run ended).
+            They are counted as overdue.
+        overdue_count: Packets with ``o'(p) > o(p)`` (beyond ``tolerance``).
+        overdue_beyond_threshold_count: Packets with ``o'(p) > o(p) + threshold``.
+        threshold: The lateness threshold ``T`` used (seconds).
+        mean_lateness: Mean of ``max(0, o'(p) - o(p))`` over matched packets.
+        max_lateness: Largest lateness observed.
+        queueing_delay_ratios: Per-packet ratio of replay queueing delay to
+            original queueing delay (Figure 1); packets with zero original
+            queueing delay are skipped.
+    """
+
+    total_packets: int = 0
+    missing_packets: int = 0
+    overdue_count: int = 0
+    overdue_beyond_threshold_count: int = 0
+    threshold: float = 0.0
+    mean_lateness: float = 0.0
+    max_lateness: float = 0.0
+    queueing_delay_ratios: List[float] = field(default_factory=list)
+
+    @property
+    def overdue_fraction(self) -> float:
+        """Fraction of packets overdue (the paper's "Total" column in Table 1)."""
+        if self.total_packets == 0:
+            return 0.0
+        return self.overdue_count / self.total_packets
+
+    @property
+    def overdue_beyond_threshold_fraction(self) -> float:
+        """Fraction overdue by more than ``threshold`` (Table 1's "> T" column)."""
+        if self.total_packets == 0:
+            return 0.0
+        return self.overdue_beyond_threshold_count / self.total_packets
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers as a dictionary (used by the experiment tables)."""
+        return {
+            "total_packets": float(self.total_packets),
+            "overdue_fraction": self.overdue_fraction,
+            "overdue_beyond_threshold_fraction": self.overdue_beyond_threshold_fraction,
+            "mean_lateness": self.mean_lateness,
+            "max_lateness": self.max_lateness,
+        }
+
+
+def compare_schedules(
+    original: Schedule,
+    replay: Schedule,
+    threshold: float,
+    tolerance: float = 1e-9,
+) -> ReplayMetrics:
+    """Compare a replay schedule against the original it tried to reproduce.
+
+    Packets are matched by packet id (the replay engine keys replayed records
+    by the original packet's id).  A packet present in the original but
+    absent from the replay — it never exited before the replay run ended —
+    counts as overdue and as overdue-beyond-threshold.
+
+    Args:
+        original: The target schedule.
+        replay: The schedule the candidate UPS produced.
+        threshold: The paper's ``T`` — one transmission time on the
+            bottleneck link.
+        tolerance: Numerical slop below which a late exit is not counted as
+            overdue (floating-point guard, default 1 ns).
+    """
+    metrics = ReplayMetrics(threshold=threshold)
+    lateness_total = 0.0
+
+    for record in original:
+        metrics.total_packets += 1
+        replayed = replay.get(record.packet_id)
+        if replayed is None:
+            metrics.missing_packets += 1
+            metrics.overdue_count += 1
+            metrics.overdue_beyond_threshold_count += 1
+            continue
+        lateness = replayed.output_time - record.output_time
+        if lateness > tolerance:
+            metrics.overdue_count += 1
+            if lateness > threshold:
+                metrics.overdue_beyond_threshold_count += 1
+            lateness_total += lateness
+            metrics.max_lateness = max(metrics.max_lateness, lateness)
+
+        original_queueing = record.total_queueing_delay
+        if original_queueing > 0:
+            metrics.queueing_delay_ratios.append(
+                replayed.total_queueing_delay / original_queueing
+            )
+
+    if metrics.total_packets:
+        metrics.mean_lateness = lateness_total / metrics.total_packets
+    return metrics
+
+
+def fraction_overdue(
+    original: Schedule, replay: Schedule, tolerance: float = 1e-9
+) -> float:
+    """Convenience wrapper returning only the overdue fraction."""
+    return compare_schedules(original, replay, threshold=0.0, tolerance=tolerance).overdue_fraction
+
+
+def lateness_distribution(
+    original: Schedule, replay: Schedule
+) -> List[float]:
+    """Per-packet lateness ``o'(p) - o(p)`` for every packet present in both runs."""
+    lateness: List[float] = []
+    for record in original:
+        replayed = replay.get(record.packet_id)
+        if replayed is not None:
+            lateness.append(replayed.output_time - record.output_time)
+    return lateness

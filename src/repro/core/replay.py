@@ -1,0 +1,313 @@
+"""The record-and-replay engine (Section 2.3's experiment harness).
+
+The workflow mirrors the paper exactly:
+
+1. **Record**: run the input workload through the topology with some
+   collection of "original" scheduling algorithms (Random, FIFO, FQ, SJF,
+   LIFO, a FQ/FIFO+ mixture, ...) and record the resulting schedule — every
+   packet's ingress time ``i(p)``, path, per-hop service times, and network
+   output time ``o(p)``.
+2. **Replay**: rebuild the *same* topology, deploy the candidate universal
+   scheduler (LSTF by default) at every port, re-inject exactly the same
+   packets at exactly the same ingress times along exactly the same paths
+   (source routing), with headers initialized from the recorded schedule
+   (black-box slack, static output-time priority, or the omniscient per-hop
+   vector).
+3. **Compare**: count overdue packets and packets overdue by more than one
+   bottleneck-link transmission time, and collect queueing-delay ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.metrics import ReplayMetrics, compare_schedules
+from repro.core.schedule import PacketRecord, Schedule
+from repro.core.slack import (
+    BlackBoxSlackInitializer,
+    OmniscientInitializer,
+    OutputTimePriorityInitializer,
+    ReplayInitializer,
+)
+from repro.schedulers.base import Scheduler
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.factory import alternating_factory, uniform_factory
+from repro.schedulers.lstf import LstfScheduler, PreemptiveLstfScheduler
+from repro.schedulers.omniscient import OmniscientReplayScheduler
+from repro.schedulers.priority import StaticPriorityScheduler
+from repro.sim.engine import Simulator
+from repro.sim.flow import DEFAULT_MSS
+from repro.sim.network import Network, SchedulerFactory
+from repro.sim.packet import Packet, PacketType
+from repro.sim.tracer import Tracer
+from repro.topology.base import Topology
+from repro.traffic.workload import WorkloadSpec
+from repro.utils.rng import RandomState
+
+
+#: Replay modes: the candidate universal scheduler deployed during the replay
+#: and the header initializer that goes with it.
+REPLAY_MODES: Dict[str, tuple] = {
+    "lstf": (LstfScheduler, BlackBoxSlackInitializer),
+    "lstf-preemptive": (PreemptiveLstfScheduler, BlackBoxSlackInitializer),
+    "edf": (EdfScheduler, BlackBoxSlackInitializer),
+    "priority": (StaticPriorityScheduler, OutputTimePriorityInitializer),
+    "omniscient": (OmniscientReplayScheduler, OmniscientInitializer),
+}
+
+
+class ReplayInjector:
+    """Re-injects the packets of a recorded schedule into a fresh network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        schedule: Schedule,
+        initializer: ReplayInitializer,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.schedule = schedule
+        self.initializer = initializer
+        self.injected = 0
+
+    def install(self) -> None:
+        """Schedule every recorded packet's injection at its original ingress time."""
+        for record in self.schedule.records():
+            self.sim.schedule_at(record.ingress_time, self._inject, record)
+
+    def _inject(self, record: PacketRecord) -> None:
+        packet = Packet(
+            flow_id=record.flow_id,
+            src=record.src,
+            dst=record.dst,
+            size_bytes=record.size_bytes,
+            ptype=PacketType.DATA,
+            route=list(record.path),
+            replay_of=record.packet_id,
+        )
+        packet.header.flow_size_bytes = record.flow_size_bytes
+        self.initializer.initialize(packet, record, self.network)
+        self.network.host(record.src).send(packet)
+        self.injected += 1
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one original schedule with one candidate UPS."""
+
+    mode: str
+    original: Schedule
+    replayed: Schedule
+    metrics: ReplayMetrics
+
+    @property
+    def overdue_fraction(self) -> float:
+        """Fraction of packets that exited later than in the original schedule."""
+        return self.metrics.overdue_fraction
+
+    @property
+    def overdue_beyond_threshold_fraction(self) -> float:
+        """Fraction of packets overdue by more than the bottleneck transmission time."""
+        return self.metrics.overdue_beyond_threshold_fraction
+
+
+def replay_scheduler_factory(mode: str) -> SchedulerFactory:
+    """Scheduler factory deploying the replay-mode scheduler at every port."""
+    scheduler_cls, _ = _lookup_mode(mode)
+    return uniform_factory(scheduler_cls)
+
+
+def replay_initializer(mode: str) -> ReplayInitializer:
+    """Header initializer matching a replay mode."""
+    _, initializer_cls = _lookup_mode(mode)
+    return initializer_cls()
+
+
+def _lookup_mode(mode: str):
+    try:
+        return REPLAY_MODES[mode]
+    except KeyError:
+        known = ", ".join(sorted(REPLAY_MODES))
+        raise KeyError(f"unknown replay mode {mode!r}; known modes: {known}") from None
+
+
+def replay_schedule(
+    topology: Topology,
+    schedule: Schedule,
+    mode: str = "lstf",
+    default_buffer_bytes: Optional[float] = None,
+    max_events: Optional[int] = None,
+) -> Schedule:
+    """Replay a recorded schedule on a fresh instance of ``topology``.
+
+    Returns the replay's schedule, keyed by the *original* packet ids so it
+    can be compared directly against ``schedule``.
+    """
+    sim = Simulator()
+    tracer = Tracer()
+    network = topology.build(
+        sim,
+        replay_scheduler_factory(mode),
+        tracer=tracer,
+        default_buffer_bytes=default_buffer_bytes,
+    )
+    injector = ReplayInjector(sim, network, schedule, replay_initializer(mode))
+    injector.install()
+    # No feedback loops and no drops: the event queue drains once every
+    # injected packet has exited, so run to completion.
+    sim.run(until=None, max_events=max_events)
+    return Schedule.from_packets(tracer.delivered_data_packets(), use_replay_ids=True)
+
+
+def evaluate_replay(
+    topology: Topology,
+    original: Schedule,
+    mode: str = "lstf",
+    threshold: Optional[float] = None,
+    threshold_packet_bytes: float = float(DEFAULT_MSS),
+    default_buffer_bytes: Optional[float] = None,
+) -> ReplayResult:
+    """Replay ``original`` with ``mode`` and compute the Table-1 metrics.
+
+    Args:
+        topology: The topology both runs share.
+        original: The recorded original schedule.
+        mode: Replay mode (see :data:`REPLAY_MODES`).
+        threshold: Lateness threshold ``T``; defaults to one transmission
+            time of ``threshold_packet_bytes`` on the slowest link.
+        threshold_packet_bytes: Packet size used for the default threshold.
+        default_buffer_bytes: Buffer capacity in the replay network (``None``
+            = infinite, the paper's setting).
+    """
+    replayed = replay_schedule(
+        topology, original, mode=mode, default_buffer_bytes=default_buffer_bytes
+    )
+    if threshold is None:
+        probe_sim = Simulator()
+        probe_network = topology.build(probe_sim, uniform_factory("fifo"))
+        threshold = probe_network.bottleneck_transmission_time(threshold_packet_bytes)
+    metrics = compare_schedules(original, replayed, threshold=threshold)
+    return ReplayResult(mode=mode, original=original, replayed=replayed, metrics=metrics)
+
+
+# ---------------------------------------------------------------------- #
+# Original-schedule recording
+# ---------------------------------------------------------------------- #
+def original_scheduler_factory(
+    name: str, topology: Topology, rng: Optional[RandomState] = None
+) -> SchedulerFactory:
+    """Scheduler factory for an "original schedule" algorithm by name.
+
+    Supports every per-port algorithm in the registry plus the Table-1
+    mixture ``"fq+fifo+"`` (half the routers run fair queueing, half FIFO+;
+    hosts keep FIFO since the mixture in the paper applies to routers).
+    """
+    normalized = name.lower()
+    if normalized in ("fq+fifo+", "fifo+ & fq", "fq/fifo+"):
+        return alternating_factory(
+            topology.router_names(),
+            uniform_factory("fq"),
+            uniform_factory("fifo+"),
+            default=uniform_factory("fifo"),
+        )
+    return uniform_factory(normalized, rng=rng)
+
+
+def record_schedule(
+    topology: Topology,
+    scheduler_factory: SchedulerFactory,
+    workload: WorkloadSpec,
+    seed: int = 0,
+    sources: Optional[Sequence[str]] = None,
+    destinations: Optional[Sequence[str]] = None,
+    default_buffer_bytes: Optional[float] = None,
+    max_events: Optional[int] = None,
+) -> Schedule:
+    """Run the workload under the original schedulers and record the schedule.
+
+    Flow arrivals stop at ``workload.duration``; the run then continues until
+    every in-flight packet has drained so that each recorded packet has a
+    complete path and output time.
+    """
+    from repro.sim.simulation import Simulation
+
+    simulation = Simulation(
+        topology,
+        scheduler_factory,
+        default_buffer_bytes=default_buffer_bytes,
+        seed=seed,
+    )
+    simulation.add_poisson_traffic(
+        workload, sources=sources, destinations=destinations, stop_time=workload.duration
+    )
+    simulation.sim.run(until=None, max_events=max_events)
+    return Schedule.from_tracer(simulation.tracer)
+
+
+class ReplayExperiment:
+    """End-to-end record-then-replay experiment for one scenario.
+
+    Args:
+        topology: Topology specification shared by both runs.
+        original: Name of the original scheduling algorithm (registry name or
+            ``"fq+fifo+"``) or an explicit scheduler factory.
+        workload: Offered traffic description.
+        seed: Seed for the workload (and for the Random scheduler if used).
+        sources: Source hosts (defaults to every host).
+        destinations: Destination hosts (defaults to every host).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        original,
+        workload: WorkloadSpec,
+        seed: int = 0,
+        sources: Optional[Sequence[str]] = None,
+        destinations: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.topology = topology
+        self.workload = workload
+        self.seed = seed
+        self.sources = sources
+        self.destinations = destinations
+        rng = RandomState(seed + 1)
+        if callable(original):
+            self.original_name = getattr(original, "__name__", "custom")
+            self.original_factory = original
+        else:
+            self.original_name = str(original)
+            self.original_factory = original_scheduler_factory(
+                self.original_name, topology, rng=rng
+            )
+        self._recorded: Optional[Schedule] = None
+
+    def record(self) -> Schedule:
+        """Run the original schedule once (cached across replay modes)."""
+        if self._recorded is None:
+            self._recorded = record_schedule(
+                self.topology,
+                self.original_factory,
+                self.workload,
+                seed=self.seed,
+                sources=self.sources,
+                destinations=self.destinations,
+            )
+        return self._recorded
+
+    def replay(self, mode: str = "lstf", threshold: Optional[float] = None) -> ReplayResult:
+        """Replay the recorded schedule with the given candidate UPS."""
+        return evaluate_replay(
+            self.topology,
+            self.record(),
+            mode=mode,
+            threshold=threshold,
+            threshold_packet_bytes=float(self.workload.mss),
+        )
+
+    def run(self, modes: Sequence[str] = ("lstf",)) -> Dict[str, ReplayResult]:
+        """Record once, then replay with every requested mode."""
+        return {mode: self.replay(mode) for mode in modes}

@@ -1,0 +1,240 @@
+"""Schedules: the paper's central object.
+
+A *schedule* is the set ``{(path(p), i(p), o(p))}`` produced by running some
+collection of scheduling algorithms over a fixed input load (Section 2.1).
+:class:`PacketRecord` captures one packet's entry, :class:`Schedule` the whole
+set, along with the per-hop timing detail needed for omniscient replay and for
+congestion-point analysis.
+
+Schedules come from two places:
+
+* recorded from a simulation run (:meth:`Schedule.from_tracer`), or
+* constructed by hand (the theory counterexamples build small viable
+  schedules directly, exactly as the paper's appendix figures do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.sim.packet import Packet
+from repro.sim.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class HopTiming:
+    """Original-schedule timing of one packet at one node.
+
+    Attributes:
+        node: Node name.
+        arrival_time: When the packet (last bit) arrived at the node.
+        start_service_time: When the node started transmitting the packet —
+            the paper's ``o(p, alpha)``.
+        departure_time: When the last bit left the node.
+    """
+
+    node: str
+    arrival_time: float
+    start_service_time: Optional[float]
+    departure_time: Optional[float]
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting in the node's queue before service began."""
+        if self.start_service_time is None:
+            return 0.0
+        return self.start_service_time - self.arrival_time
+
+
+@dataclass
+class PacketRecord:
+    """One packet's entry in a schedule.
+
+    Attributes:
+        packet_id: Identifier of the packet in the original run.
+        flow_id: Flow the packet belonged to.
+        src: Source host name (the packet's ingress).
+        dst: Destination host name (the packet's egress).
+        size_bytes: Packet size.
+        ingress_time: ``i(p)`` — when the packet entered the network.
+        output_time: ``o(p)`` — when the packet's last bit left the network.
+        path: Node names from source to destination (inclusive).
+        hops: Per-hop timing from the original run (may be empty for
+            hand-built schedules that only specify end-to-end times).
+        flow_size_bytes: Size of the packet's flow, carried through so that
+            replay modes that need it (e.g. SJF-flavoured analyses) have it.
+    """
+
+    packet_id: int
+    flow_id: int
+    src: str
+    dst: str
+    size_bytes: float
+    ingress_time: float
+    output_time: float
+    path: List[str]
+    hops: List[HopTiming] = field(default_factory=list)
+    flow_size_bytes: Optional[float] = None
+
+    @classmethod
+    def from_packet(cls, packet: Packet) -> "PacketRecord":
+        """Build a record from a delivered packet of a finished simulation."""
+        if packet.egress_time is None:
+            raise ValueError(
+                f"packet {packet.packet_id} has not exited the network; only "
+                "delivered packets can enter a schedule"
+            )
+        hops = [
+            HopTiming(
+                node=hop.node,
+                arrival_time=hop.arrival_time,
+                start_service_time=hop.start_service_time,
+                departure_time=hop.departure_time,
+            )
+            for hop in packet.hops
+        ]
+        path = [hop.node for hop in packet.hops]
+        if not path or path[-1] != packet.dst:
+            path = path + [packet.dst]
+        return cls(
+            packet_id=packet.packet_id,
+            flow_id=packet.flow_id,
+            src=packet.src,
+            dst=packet.dst,
+            size_bytes=packet.size_bytes,
+            ingress_time=packet.ingress_time if packet.ingress_time is not None else 0.0,
+            output_time=packet.egress_time,
+            path=path,
+            hops=hops,
+            flow_size_bytes=packet.header.flow_size_bytes,
+        )
+
+    @property
+    def network_delay(self) -> float:
+        """End-to-end delay ``o(p) - i(p)`` in the original schedule."""
+        return self.output_time - self.ingress_time
+
+    @property
+    def total_queueing_delay(self) -> float:
+        """Sum of per-hop queueing delays in the original schedule."""
+        return sum(hop.queueing_delay for hop in self.hops)
+
+    def congestion_points(self, epsilon: float = 1e-12) -> int:
+        """Number of nodes at which the packet waited more than ``epsilon``.
+
+        This is the paper's notion of a congestion point: "a node where a
+        packet is forced to wait during a given schedule".
+        """
+        return sum(1 for hop in self.hops if hop.queueing_delay > epsilon)
+
+    def hop_output_times(self) -> List[float]:
+        """The per-hop service-start times ``o(p, alpha_i)`` (omniscient header)."""
+        times: List[float] = []
+        for hop in self.hops:
+            if hop.start_service_time is not None:
+                times.append(hop.start_service_time)
+        return times
+
+
+class Schedule:
+    """A set of packet records indexed by packet id."""
+
+    def __init__(self, records: Optional[Iterable[PacketRecord]] = None) -> None:
+        self._records: Dict[int, PacketRecord] = {}
+        if records is not None:
+            for record in records:
+                self.add(record)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, record: PacketRecord) -> None:
+        """Insert a record (packet ids must be unique)."""
+        if record.packet_id in self._records:
+            raise ValueError(f"duplicate packet id {record.packet_id} in schedule")
+        self._records[record.packet_id] = record
+
+    @classmethod
+    def from_packets(
+        cls, packets: Iterable[Packet], use_replay_ids: bool = False
+    ) -> "Schedule":
+        """Build a schedule from delivered packets.
+
+        Args:
+            packets: Delivered packets (must have egress times).
+            use_replay_ids: If true, records are keyed by each packet's
+                ``replay_of`` id, so a replay run's schedule lines up with the
+                original schedule it was replaying.
+        """
+        schedule = cls()
+        for packet in packets:
+            record = PacketRecord.from_packet(packet)
+            if use_replay_ids and packet.replay_of is not None:
+                record.packet_id = packet.replay_of
+            schedule.add(record)
+        return schedule
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer, data_only: bool = True) -> "Schedule":
+        """Build a schedule from a finished simulation's tracer."""
+        packets = tracer.delivered_data_packets() if data_only else tracer.delivered
+        return cls.from_packets(packets)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self._records.values())
+
+    def __contains__(self, packet_id: int) -> bool:
+        return packet_id in self._records
+
+    def record(self, packet_id: int) -> PacketRecord:
+        """The record for ``packet_id`` (raises ``KeyError`` if absent)."""
+        return self._records[packet_id]
+
+    def get(self, packet_id: int) -> Optional[PacketRecord]:
+        """The record for ``packet_id``, or ``None``."""
+        return self._records.get(packet_id)
+
+    def records(self) -> List[PacketRecord]:
+        """All records, ordered by ingress time (then packet id)."""
+        return sorted(self._records.values(), key=lambda r: (r.ingress_time, r.packet_id))
+
+    def packet_ids(self) -> List[int]:
+        """All packet ids present in the schedule."""
+        return list(self._records.keys())
+
+    # ------------------------------------------------------------------ #
+    # Analysis
+    # ------------------------------------------------------------------ #
+    def max_congestion_points(self, epsilon: float = 1e-12) -> int:
+        """Largest per-packet congestion-point count in the schedule."""
+        return max((r.congestion_points(epsilon) for r in self), default=0)
+
+    def congestion_point_histogram(self, epsilon: float = 1e-12) -> Dict[int, int]:
+        """Histogram mapping congestion-point count to number of packets."""
+        histogram: Dict[int, int] = {}
+        for record in self:
+            count = record.congestion_points(epsilon)
+            histogram[count] = histogram.get(count, 0) + 1
+        return histogram
+
+    def time_span(self) -> Tuple[float, float]:
+        """(earliest ingress, latest output) across all records."""
+        if not self._records:
+            return (0.0, 0.0)
+        start = min(record.ingress_time for record in self)
+        end = max(record.output_time for record in self)
+        return (start, end)
+
+    def total_bytes(self) -> float:
+        """Sum of all packet sizes in the schedule."""
+        return sum(record.size_bytes for record in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Schedule packets={len(self)}>"

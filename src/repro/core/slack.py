@@ -1,0 +1,208 @@
+"""Slack initialization.
+
+LSTF's behaviour is entirely determined by how the slack in each packet's
+header is initialized at the ingress.  This module collects every
+initialization scheme used in the paper:
+
+**Replay initializers** (Section 2) consume a recorded original schedule and
+stamp each replayed packet with
+
+    ``slack(p) = o(p) - i(p) - tmin(p, src(p), dest(p))``
+
+(black-box initialization), the per-hop output-time vector (omniscient
+initialization), or a static priority ``o(p)`` (the simple-priorities
+comparison point).
+
+**Heuristic policies** (Section 3) need no knowledge of any schedule; they
+stamp slack at send time to pursue a performance objective: flow-size-
+proportional slack for mean FCT, a constant slack for tail latency (making
+LSTF behave as FIFO+), and a virtual-clock style slack for fairness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Dict, Optional, Tuple
+
+from repro.core.schedule import PacketRecord, Schedule
+from repro.sim.network import Network
+from repro.sim.packet import Packet
+from repro.utils.units import BITS_PER_BYTE
+
+
+# ---------------------------------------------------------------------- #
+# Replay-time initializers (Section 2)
+# ---------------------------------------------------------------------- #
+class ReplayInitializer(ABC):
+    """Initializes a replayed packet's header from its original-schedule record."""
+
+    @abstractmethod
+    def initialize(self, packet: Packet, record: PacketRecord, network: Network) -> None:
+        """Stamp ``packet``'s header for the replay run."""
+
+
+class BlackBoxSlackInitializer(ReplayInitializer):
+    """The paper's black-box initialization: only ``o(p)`` and ``path(p)`` are known.
+
+    Sets ``header.slack = o(p) - i(p) - tmin(path)`` (for LSTF) and
+    ``header.deadline = o(p)`` (so the same initialization also serves
+    network-wide EDF, which the paper proves equivalent to LSTF).
+    """
+
+    def initialize(self, packet: Packet, record: PacketRecord, network: Network) -> None:
+        tmin = network.tmin_along(record.size_bytes, record.path)
+        packet.header.slack = record.output_time - record.ingress_time - tmin
+        packet.header.deadline = record.output_time
+
+
+class OutputTimePriorityInitializer(ReplayInitializer):
+    """Simple-priorities replay: static priority equal to the target output time.
+
+    This is the "most intuitive" priority assignment the paper compares
+    against in Section 2.3 item (7): earlier target output times get higher
+    priority, and the value never changes along the path.
+    """
+
+    def initialize(self, packet: Packet, record: PacketRecord, network: Network) -> None:
+        packet.header.priority = record.output_time
+        packet.header.deadline = record.output_time
+
+
+class OmniscientInitializer(ReplayInitializer):
+    """Omniscient initialization: the per-hop output times ``o(p, alpha_i)``.
+
+    The header carries an n-dimensional vector; every router pops the head
+    entry and uses it as the packet's priority.  Appendix B proves this
+    replays any viable schedule perfectly.
+    """
+
+    def initialize(self, packet: Packet, record: PacketRecord, network: Network) -> None:
+        packet.header.hop_output_times = deque(record.hop_output_times())
+        packet.header.deadline = record.output_time
+
+
+# ---------------------------------------------------------------------- #
+# Live heuristics (Section 3)
+# ---------------------------------------------------------------------- #
+class SlackPolicy(ABC):
+    """A slack-assignment heuristic applied as packets are injected.
+
+    A policy is installed on a network (``network.slack_policy = policy``);
+    every host then calls :meth:`on_packet_sent` for every packet it injects.
+    """
+
+    @abstractmethod
+    def on_packet_sent(self, packet: Packet, now: float) -> None:
+        """Stamp ``packet.header.slack`` (and related fields) at send time."""
+
+
+class FlowSizeSlackPolicy(SlackPolicy):
+    """Mean-FCT heuristic: ``slack(p) = flow_size(p) * D`` (Section 3.1).
+
+    With ``D`` much larger than any queueing delay, LSTF orders packets by
+    flow size — approximating SJF — while still using any leftover slack to
+    resolve ties in favour of packets that have already waited.
+
+    Args:
+        scale: The constant ``D`` in seconds per byte of flow size.  The
+            paper uses D = 1 second (with flow sizes measured in bytes).
+    """
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+
+    def on_packet_sent(self, packet: Packet, now: float) -> None:
+        flow_size = packet.header.flow_size_bytes
+        if flow_size is None:
+            flow_size = packet.size_bytes
+        packet.header.slack = flow_size * self.scale
+
+
+class ConstantSlackPolicy(SlackPolicy):
+    """Tail-latency heuristic: every packet gets the same slack (Section 3.2).
+
+    With equal initial slack, LSTF serves the packet that has accumulated the
+    most queueing delay so far — which is exactly FIFO+.
+
+    Args:
+        slack: The constant slack in seconds (paper: 1 second).
+    """
+
+    def __init__(self, slack: float = 1.0) -> None:
+        if slack < 0:
+            raise ValueError(f"slack must be non-negative, got {slack}")
+        self.slack = slack
+
+    def on_packet_sent(self, packet: Packet, now: float) -> None:
+        packet.header.slack = self.slack
+
+
+class FairnessSlackPolicy(SlackPolicy):
+    """Fairness heuristic: virtual-clock style slack accumulation (Section 3.3).
+
+    The first packet of a flow gets zero slack; each subsequent packet gets
+
+        ``slack(p_i) = max(0, slack(p_{i-1}) + credit - (i(p_i) - i(p_{i-1})))``
+
+    where ``credit`` is the time a fair share of the estimated rate ``rest``
+    would need to carry the previous packet.  The paper expresses the credit
+    as ``1 / rest``; we use ``previous_size * 8 / rest`` so the heuristic is
+    well defined for variable packet sizes (the two coincide for the paper's
+    fixed-size packets up to the choice of unit for ``rest``).  The paper
+    proves the resulting schedule converges to the fair share for any
+    ``rest`` below the true fair rate, as long as all flows use the same
+    value; that asymptotic-fairness property is what Figure 4 (and our
+    reproduction) measures.
+
+    Args:
+        rate_estimate_bps: The fair-share rate estimate ``rest`` in bits/second.
+        data_packets_only: If true (default), acknowledgement packets are
+            given the constant slack ``ack_slack`` instead of participating
+            in the per-flow accumulation, so reverse-path ACK streams do not
+            perturb a flow's forward-path state.
+        ack_slack: Slack assigned to ACKs when ``data_packets_only`` is set.
+    """
+
+    def __init__(
+        self,
+        rate_estimate_bps: float,
+        data_packets_only: bool = True,
+        ack_slack: float = 0.0,
+    ) -> None:
+        if rate_estimate_bps <= 0:
+            raise ValueError(f"rate estimate must be positive, got {rate_estimate_bps}")
+        self.rate_estimate_bps = rate_estimate_bps
+        self.data_packets_only = data_packets_only
+        self.ack_slack = ack_slack
+        # Per (flow, direction) state: (previous slack, previous ingress time,
+        # previous packet size).
+        self._state: Dict[Tuple[int, str], Tuple[float, float, float]] = {}
+
+    def on_packet_sent(self, packet: Packet, now: float) -> None:
+        if self.data_packets_only and packet.is_ack:
+            packet.header.slack = self.ack_slack
+            return
+        key = (packet.flow_id, packet.src)
+        previous = self._state.get(key)
+        if previous is None:
+            slack = 0.0
+        else:
+            previous_slack, previous_time, previous_size = previous
+            credit = previous_size * BITS_PER_BYTE / self.rate_estimate_bps
+            slack = max(0.0, previous_slack + credit - (now - previous_time))
+        packet.header.slack = slack
+        self._state[key] = (slack, now, packet.size_bytes)
+
+    def reset(self) -> None:
+        """Forget all per-flow state (useful when reusing a policy across runs)."""
+        self._state.clear()
+
+
+class NullSlackPolicy(SlackPolicy):
+    """A policy that leaves headers untouched (useful as an explicit default)."""
+
+    def on_packet_sent(self, packet: Packet, now: float) -> None:  # noqa: D401
+        return

@@ -1,0 +1,57 @@
+"""Experiment harness: one module per table/figure in the paper's evaluation."""
+
+from repro.experiments.ablations import (
+    run_edf_equivalence,
+    run_omniscient_ablation,
+    run_preemption_ablation,
+)
+from repro.experiments.config import ExperimentResult, ExperimentScale
+from repro.experiments.figure1 import queueing_delay_ratio_cdf, run_figure1
+from repro.experiments.figure2 import run_fct_scenario, run_figure2
+from repro.experiments.figure3 import run_delay_scenario, run_figure3
+from repro.experiments.figure4 import (
+    build_long_lived_flows,
+    run_fairness_scenario,
+    run_figure4,
+)
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    format_result,
+    results_to_json,
+    run_all,
+)
+from repro.experiments.table1 import (
+    ReplayScenario,
+    default_scenario,
+    run_priority_comparison,
+    run_scenario,
+    run_table1,
+    table1_scenarios,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "ExperimentResult",
+    "ReplayScenario",
+    "default_scenario",
+    "table1_scenarios",
+    "run_scenario",
+    "run_table1",
+    "run_priority_comparison",
+    "run_figure1",
+    "queueing_delay_ratio_cdf",
+    "run_figure2",
+    "run_fct_scenario",
+    "run_figure3",
+    "run_delay_scenario",
+    "run_figure4",
+    "run_fairness_scenario",
+    "build_long_lived_flows",
+    "run_preemption_ablation",
+    "run_edf_equivalence",
+    "run_omniscient_ablation",
+    "EXPERIMENTS",
+    "run_all",
+    "format_result",
+    "results_to_json",
+]

@@ -1,0 +1,109 @@
+"""Running and formatting experiments.
+
+The :func:`run_all` helper executes every table/figure experiment under one
+scale preset; :func:`format_result` renders a result as a plain-text table of
+the same shape as the corresponding table or figure legend in the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.ablations import (
+    run_edf_equivalence,
+    run_omniscient_ablation,
+    run_preemption_ablation,
+)
+from repro.experiments.config import ExperimentResult, ExperimentScale
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.table1 import run_priority_comparison, run_table1
+
+#: Registry of every experiment in the harness, keyed by the paper artifact
+#: it reproduces.
+EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentScale]], ExperimentResult]] = {
+    "table1": run_table1,
+    "table1-priority": run_priority_comparison,
+    "figure1": run_figure1,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "ablation-preemption": run_preemption_ablation,
+    "ablation-edf": run_edf_equivalence,
+    "ablation-omniscient": run_omniscient_ablation,
+}
+
+
+def format_result(result: ExperimentResult, float_digits: int = 4) -> str:
+    """Render an experiment result as a fixed-width text table."""
+    if not result.rows:
+        return f"[{result.name} / {result.scale_label}] (no rows)"
+    columns = list(result.rows[0].keys())
+    formatted_rows: List[List[str]] = []
+    for row in result.rows:
+        formatted_rows.append([_format_cell(row.get(column), float_digits) for column in columns])
+    widths = [
+        max(len(column), *(len(row[i]) for row in formatted_rows))
+        for i, column in enumerate(columns)
+    ]
+    lines = [f"== {result.name} ({result.scale_label} scale) =="]
+    if result.notes:
+        lines.append(result.notes)
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value, float_digits: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def run_all(
+    scale: Optional[ExperimentScale] = None,
+    names: Optional[List[str]] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run every (or a subset of) experiment(s) and return their results."""
+    scale = scale or ExperimentScale.quick()
+    selected = names if names is not None else list(EXPERIMENTS)
+    results: Dict[str, ExperimentResult] = {}
+    for name in selected:
+        if name not in EXPERIMENTS:
+            known = ", ".join(sorted(EXPERIMENTS))
+            raise KeyError(f"unknown experiment {name!r}; known: {known}")
+        results[name] = EXPERIMENTS[name](scale)
+    return results
+
+
+def results_to_json(results: Dict[str, ExperimentResult]) -> str:
+    """Serialize experiment results (rows and notes only) to JSON."""
+    payload = {
+        name: {
+            "scale": result.scale_label,
+            "notes": result.notes,
+            "rows": result.rows,
+        }
+        for name, result in results.items()
+    }
+    return json.dumps(payload, indent=2, default=str)
+
+
+def main() -> None:  # pragma: no cover - convenience CLI
+    """Run the full harness at quick scale and print every table."""
+    results = run_all(ExperimentScale.quick())
+    for result in results.values():
+        print(format_result(result))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,209 @@
+"""Scheduler interface and shared helpers.
+
+Every output port of every node owns one :class:`Scheduler` instance.  The
+scheduler decides (a) the order in which queued packets are transmitted,
+(b) which packet to drop when a finite buffer overflows, and (c) how to
+rewrite dynamic packet state (e.g. the LSTF slack) when a packet is selected
+for transmission.
+
+The interface is deliberately small so that the port logic
+(:mod:`repro.sim.port`) stays scheduler-agnostic, mirroring the paper's model
+in which the only per-router freedom is the scheduling logic itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.sim.port import OutputPort
+
+
+class Scheduler(ABC):
+    """Base class for per-port packet schedulers."""
+
+    #: Whether the port may preempt an in-flight transmission when a more
+    #: urgent packet arrives.  Only the preemptive LSTF variant sets this.
+    preemptive: bool = False
+
+    def __init__(self) -> None:
+        self._port: Optional["OutputPort"] = None
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def attach(self, port: "OutputPort") -> None:
+        """Bind the scheduler to the output port that owns it."""
+        self._port = port
+
+    @property
+    def port(self) -> Optional["OutputPort"]:
+        """The output port this scheduler is attached to (if any)."""
+        return self._port
+
+    # ------------------------------------------------------------------ #
+    # Queue operations
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def enqueue(self, packet: Packet, now: float) -> None:
+        """Add ``packet`` to the queue at simulation time ``now``."""
+
+    @abstractmethod
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Remove and return the next packet to transmit, or ``None`` if empty."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of packets currently queued."""
+
+    @property
+    @abstractmethod
+    def byte_count(self) -> float:
+        """Total bytes currently queued."""
+
+    def remove(self, packet: Packet) -> bool:
+        """Remove a specific queued packet (used by drop policies).
+
+        Returns ``True`` if the packet was found and removed.  The default
+        implementation raises; schedulers that support buffer-overflow victim
+        selection must override it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support removing arbitrary packets"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Drop policy
+    # ------------------------------------------------------------------ #
+    def choose_drop(self, arriving: Packet, now: float) -> Packet:
+        """Pick the packet to drop when the buffer cannot admit ``arriving``.
+
+        The default policy is drop-tail (drop the arriving packet).  LSTF
+        overrides this to drop the packet with the most remaining slack, per
+        Section 3 of the paper.
+        """
+        return arriving
+
+    # ------------------------------------------------------------------ #
+    # Preemption (only used when ``preemptive`` is True)
+    # ------------------------------------------------------------------ #
+    def should_preempt(
+        self, in_flight: Packet, in_flight_started: float, now: float
+    ) -> bool:
+        """Whether the port should abort the in-flight transmission.
+
+        Only consulted when :attr:`preemptive` is ``True`` and a new packet
+        has just been enqueued while the port is busy.
+        """
+        return False
+
+
+class QueueEntry:
+    """Internal bookkeeping record pairing a packet with its enqueue time."""
+
+    __slots__ = ("packet", "enqueue_time")
+
+    def __init__(self, packet: Packet, enqueue_time: float) -> None:
+        self.packet = packet
+        self.enqueue_time = enqueue_time
+
+
+class PriorityScheduler(Scheduler):
+    """Shared implementation for schedulers that order packets by a scalar key.
+
+    Subclasses implement :meth:`key`, which maps a packet (and its enqueue
+    time) to a sort key; the packet with the *smallest* key is transmitted
+    first.  Ties are broken FIFO (by enqueue sequence), which matches the
+    tie-breaking assumption used in the paper's EDF/LSTF equivalence proof.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: List[Tuple[float, int, QueueEntry]] = []
+        self._sequence = itertools.count()
+        self._bytes = 0.0
+        self._removed: set = set()
+
+    @abstractmethod
+    def key(self, packet: Packet, enqueue_time: float, now: float) -> float:
+        """Sort key for ``packet``; smaller keys are served first."""
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        entry = QueueEntry(packet, now)
+        heapq.heappush(self._heap, (self.key(packet, now, now), next(self._sequence), entry))
+        self._bytes += packet.size_bytes
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        entry = self._pop_valid()
+        if entry is None:
+            return None
+        self._bytes -= entry.packet.size_bytes
+        self.on_dequeue(entry.packet, entry.enqueue_time, now)
+        return entry.packet
+
+    def on_dequeue(self, packet: Packet, enqueue_time: float, now: float) -> None:
+        """Hook for dynamic-packet-state updates; default is a no-op."""
+
+    def peek(self, now: float) -> Optional[Packet]:
+        """The packet that would be returned by :meth:`dequeue`, without removing it."""
+        self._discard_removed()
+        if not self._heap:
+            return None
+        return self._heap[0][2].packet
+
+    def peek_entry(self) -> Optional[QueueEntry]:
+        """The queue entry at the head of the heap (packet + enqueue time)."""
+        self._discard_removed()
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def _pop_valid(self) -> Optional[QueueEntry]:
+        self._discard_removed()
+        if not self._heap:
+            return None
+        _, _, entry = heapq.heappop(self._heap)
+        return entry
+
+    def _discard_removed(self) -> None:
+        while self._heap and self._heap[0][2].packet.packet_id in self._removed:
+            _, _, entry = heapq.heappop(self._heap)
+            self._removed.discard(entry.packet.packet_id)
+
+    def remove(self, packet: Packet) -> bool:
+        for _, _, entry in self._heap:
+            if entry.packet.packet_id == packet.packet_id:
+                if packet.packet_id in self._removed:
+                    return False
+                self._removed.add(packet.packet_id)
+                self._bytes -= packet.size_bytes
+                return True
+        return False
+
+    def queued_packets(self) -> List[Packet]:
+        """Snapshot of queued packets (order unspecified); used by drop policies."""
+        return [
+            entry.packet
+            for _, _, entry in self._heap
+            if entry.packet.packet_id not in self._removed
+        ]
+
+    def queued_entries(self) -> List[QueueEntry]:
+        """Snapshot of queue entries (order unspecified)."""
+        return [
+            entry
+            for _, _, entry in self._heap
+            if entry.packet.packet_id not in self._removed
+        ]
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._removed)
+
+    @property
+    def byte_count(self) -> float:
+        return self._bytes

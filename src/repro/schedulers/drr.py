@@ -1,0 +1,92 @@
+"""Deficit Round Robin (Shreedhar & Varghese, SIGCOMM 1995).
+
+Provided as an alternative fairness baseline alongside SCFQ: DRR approximates
+fair queueing with O(1) work per packet by visiting active flows round-robin
+and letting each flow send up to ``quantum`` bytes (plus any deficit carried
+over from rounds in which its head packet did not fit).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional
+
+from repro.schedulers.base import QueueEntry, Scheduler
+from repro.sim.packet import Packet
+
+
+class DrrScheduler(Scheduler):
+    """Deficit Round Robin over per-flow FIFO queues.
+
+    Args:
+        quantum_bytes: Bytes added to a flow's deficit counter each time the
+            round-robin pointer visits it.  Should be at least one MTU so that
+            every visit can serve at least one packet.
+    """
+
+    def __init__(self, quantum_bytes: float = 1500.0) -> None:
+        super().__init__()
+        if quantum_bytes <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum_bytes}")
+        self.quantum_bytes = quantum_bytes
+        self._flows: "OrderedDict[int, Deque[QueueEntry]]" = OrderedDict()
+        self._deficits: Dict[int, float] = {}
+        self._bytes = 0.0
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        queue = self._flows.get(packet.flow_id)
+        if queue is None:
+            queue = deque()
+            self._flows[packet.flow_id] = queue
+            self._deficits.setdefault(packet.flow_id, 0.0)
+        queue.append(QueueEntry(packet, now))
+        self._bytes += packet.size_bytes
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._flows:
+            return None
+        # Visit flows round-robin; OrderedDict preserves the visiting order and
+        # move_to_end rotates the pointer.
+        for _ in range(len(self._flows)):
+            flow_id, queue = next(iter(self._flows.items()))
+            if not queue:
+                del self._flows[flow_id]
+                self._deficits.pop(flow_id, None)
+                continue
+            head = queue[0].packet
+            deficit = self._deficits.get(flow_id, 0.0)
+            if deficit < head.size_bytes:
+                # Not enough credit yet: top up and move to the back of the round.
+                self._deficits[flow_id] = deficit + self.quantum_bytes
+                self._flows.move_to_end(flow_id)
+                continue
+            entry = queue.popleft()
+            self._deficits[flow_id] = deficit - entry.packet.size_bytes
+            self._bytes -= entry.packet.size_bytes
+            if not queue:
+                del self._flows[flow_id]
+                self._deficits.pop(flow_id, None)
+            return entry.packet
+        # Every active flow lacked credit this pass; grant another round.
+        return self.dequeue(now)
+
+    def remove(self, packet: Packet) -> bool:
+        queue = self._flows.get(packet.flow_id)
+        if not queue:
+            return False
+        for index, entry in enumerate(queue):
+            if entry.packet.packet_id == packet.packet_id:
+                del queue[index]
+                self._bytes -= packet.size_bytes
+                if not queue:
+                    del self._flows[packet.flow_id]
+                    self._deficits.pop(packet.flow_id, None)
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._flows.values())
+
+    @property
+    def byte_count(self) -> float:
+        return self._bytes

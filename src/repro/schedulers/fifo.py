@@ -1,0 +1,44 @@
+"""First-In-First-Out scheduling (the baseline drop-tail queue)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.schedulers.base import QueueEntry, Scheduler
+from repro.sim.packet import Packet
+
+
+class FifoScheduler(Scheduler):
+    """Serve packets strictly in arrival order."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: Deque[QueueEntry] = deque()
+        self._bytes = 0.0
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        self._queue.append(QueueEntry(packet, now))
+        self._bytes += packet.size_bytes
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        entry = self._queue.popleft()
+        self._bytes -= entry.packet.size_bytes
+        return entry.packet
+
+    def remove(self, packet: Packet) -> bool:
+        for index, entry in enumerate(self._queue):
+            if entry.packet.packet_id == packet.packet_id:
+                del self._queue[index]
+                self._bytes -= packet.size_bytes
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def byte_count(self) -> float:
+        return self._bytes

@@ -1,0 +1,48 @@
+"""Last-In-First-Out scheduling.
+
+LIFO is one of the "hard to replay" original schedulers evaluated in Table 1
+of the paper: it produces a large skew in the slack distribution because a
+packet that arrives at a busy queue can be starved for a long time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.schedulers.base import QueueEntry, Scheduler
+from repro.sim.packet import Packet
+
+
+class LifoScheduler(Scheduler):
+    """Serve the most recently arrived packet first."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stack: List[QueueEntry] = []
+        self._bytes = 0.0
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        self._stack.append(QueueEntry(packet, now))
+        self._bytes += packet.size_bytes
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._stack:
+            return None
+        entry = self._stack.pop()
+        self._bytes -= entry.packet.size_bytes
+        return entry.packet
+
+    def remove(self, packet: Packet) -> bool:
+        for index, entry in enumerate(self._stack):
+            if entry.packet.packet_id == packet.packet_id:
+                del self._stack[index]
+                self._bytes -= packet.size_bytes
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    @property
+    def byte_count(self) -> float:
+        return self._bytes

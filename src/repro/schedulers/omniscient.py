@@ -1,0 +1,28 @@
+"""Omniscient per-hop priority scheduling (Appendix B's perfect UPS).
+
+Under omniscient header initialization every packet carries the vector of
+times at which it was scheduled by each hop in the original schedule.  Each
+router pops the head of the vector when the packet arrives and uses it as a
+static priority: packets that were transmitted earlier by this router in the
+original schedule are served first.  Appendix B proves this replays any
+viable schedule perfectly; the test suite checks that property empirically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.schedulers.base import PriorityScheduler
+from repro.sim.packet import Packet
+
+
+class OmniscientReplayScheduler(PriorityScheduler):
+    """Serve packets in the order this hop transmitted them originally."""
+
+    def key(self, packet: Packet, enqueue_time: float, now: float) -> float:
+        vector = packet.header.hop_output_times
+        if not vector:
+            # A packet without (or beyond) its per-hop vector has no claim to
+            # urgency at this hop; schedule it after all annotated packets.
+            return math.inf
+        return vector.popleft()

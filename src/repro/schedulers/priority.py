@@ -1,0 +1,44 @@
+"""Simple (static) priority scheduling.
+
+The priority value is assigned once, at the ingress, and never changes.  This
+is the paper's near-UPS strawman: it can replay any viable schedule with at
+most one congestion point per packet, but fails with two (Appendix F), and
+empirically fares far worse than LSTF (Section 2.3, item 7).
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import PriorityScheduler
+from repro.sim.packet import Packet
+
+
+class StaticPriorityScheduler(PriorityScheduler):
+    """Serve the queued packet with the smallest static priority value.
+
+    The priority is read from ``packet.header.priority``.  Packets without a
+    priority are treated as lowest urgency (served after all prioritized
+    packets), which keeps control traffic such as ACKs from starving data in
+    experiments that only prioritize data packets.
+    """
+
+    #: Priority assigned to packets whose header carries no priority value.
+    DEFAULT_PRIORITY = float("inf")
+
+    def key(self, packet: Packet, enqueue_time: float, now: float) -> float:
+        priority = packet.header.priority
+        return self.DEFAULT_PRIORITY if priority is None else priority
+
+
+class SjfScheduler(StaticPriorityScheduler):
+    """Shortest Job First: priority equals the size of the packet's flow.
+
+    The ingress stamps every packet of a flow with the flow's total size;
+    routers serve packets of smaller flows first.  This is the plain
+    priority-based SJF used as an original schedule in Table 1.
+    """
+
+    def key(self, packet: Packet, enqueue_time: float, now: float) -> float:
+        size = packet.header.flow_size_bytes
+        if size is None:
+            size = packet.header.priority
+        return self.DEFAULT_PRIORITY if size is None else float(size)

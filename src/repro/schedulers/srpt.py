@@ -1,0 +1,125 @@
+"""SRPT and SJF with pFabric-style starvation prevention.
+
+Figure 2 of the paper benchmarks LSTF against SRPT (Shortest Remaining
+Processing Time) and SJF implemented as in pFabric [Alizadeh et al.,
+SIGCOMM 2013]: each packet carries a priority (remaining flow bytes for SRPT,
+total flow size for SJF) and the router always schedules *the earliest
+arriving packet of the flow which contains the highest-priority packet*.
+That per-flow FIFO discipline is the "starvation prevention" described in the
+paper's footnote 8: it keeps a flow's packets in order and lets a nearly
+finished flow drain even if its early packets were stamped with a large
+remaining size.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Optional
+
+from repro.schedulers.base import QueueEntry, Scheduler
+from repro.sim.packet import Packet
+
+
+def _srpt_priority(packet: Packet) -> float:
+    """Remaining flow bytes stamped on the packet by its sender (SRPT)."""
+    value = packet.header.remaining_flow_bytes
+    if value is None:
+        value = packet.header.flow_size_bytes
+    return float("inf") if value is None else float(value)
+
+
+def _sjf_priority(packet: Packet) -> float:
+    """Total flow size stamped on the packet by its sender (SJF)."""
+    value = packet.header.flow_size_bytes
+    return float("inf") if value is None else float(value)
+
+
+class FlowAwarePriorityScheduler(Scheduler):
+    """Per-flow FIFO queues served in order of the flow's best packet priority.
+
+    Args:
+        priority_of: Maps a packet to its priority value (lower = more urgent).
+    """
+
+    def __init__(self, priority_of: Callable[[Packet], float]) -> None:
+        super().__init__()
+        self._priority_of = priority_of
+        self._flows: "OrderedDict[int, Deque[QueueEntry]]" = OrderedDict()
+        self._bytes = 0.0
+
+    def enqueue(self, packet: Packet, now: float) -> None:
+        queue = self._flows.get(packet.flow_id)
+        if queue is None:
+            queue = deque()
+            self._flows[packet.flow_id] = queue
+        queue.append(QueueEntry(packet, now))
+        self._bytes += packet.size_bytes
+
+    def _best_flow(self) -> Optional[int]:
+        best_flow: Optional[int] = None
+        best_priority = float("inf")
+        for flow_id, queue in self._flows.items():
+            if not queue:
+                continue
+            flow_priority = min(self._priority_of(entry.packet) for entry in queue)
+            if best_flow is None or flow_priority < best_priority:
+                best_priority = flow_priority
+                best_flow = flow_id
+        return best_flow
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        flow_id = self._best_flow()
+        if flow_id is None:
+            return None
+        queue = self._flows[flow_id]
+        entry = queue.popleft()
+        if not queue:
+            del self._flows[flow_id]
+        self._bytes -= entry.packet.size_bytes
+        return entry.packet
+
+    def remove(self, packet: Packet) -> bool:
+        queue = self._flows.get(packet.flow_id)
+        if not queue:
+            return False
+        for index, entry in enumerate(queue):
+            if entry.packet.packet_id == packet.packet_id:
+                del queue[index]
+                if not queue:
+                    del self._flows[packet.flow_id]
+                self._bytes -= packet.size_bytes
+                return True
+        return False
+
+    def choose_drop(self, arriving: Packet, now: float) -> Packet:
+        """Drop the packet with the worst (largest) priority, arriving included."""
+        worst = arriving
+        worst_priority = self._priority_of(arriving)
+        for queue in self._flows.values():
+            for entry in queue:
+                priority = self._priority_of(entry.packet)
+                if priority > worst_priority:
+                    worst_priority = priority
+                    worst = entry.packet
+        return worst
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._flows.values())
+
+    @property
+    def byte_count(self) -> float:
+        return self._bytes
+
+
+class SrptScheduler(FlowAwarePriorityScheduler):
+    """Shortest Remaining Processing Time with per-flow FIFO (pFabric-style)."""
+
+    def __init__(self) -> None:
+        super().__init__(_srpt_priority)
+
+
+class SjfStarvationFreeScheduler(FlowAwarePriorityScheduler):
+    """Shortest Job First with per-flow FIFO starvation prevention."""
+
+    def __init__(self) -> None:
+        super().__init__(_sjf_priority)

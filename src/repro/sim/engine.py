@@ -1,0 +1,143 @@
+"""A minimal, fast discrete-event simulation engine.
+
+The engine maintains a priority queue of :class:`~repro.sim.events.Event`
+objects and executes them in time order.  It is the substrate on which the
+packet-level network simulator (routers, links, transport protocols, traffic
+generators) is built, replacing the ns-2 simulator used by the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, List, Optional
+
+from repro.sim.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used incorrectly (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Discrete-event simulation engine.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, my_callback, arg1, arg2)
+        sim.run(until=10.0)
+
+    Attributes:
+        now: Current simulation time in seconds.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._sequence = 0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Raises:
+            SimulationError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args) -> Event:
+        """Schedule ``callback(*args)`` to run at absolute simulation time ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.9f}, which is before now ({self._now:.9f})"
+            )
+        event = Event(time, self._sequence, callback, args)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (no-op if it already fired)."""
+        event.cancel()
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or ``None`` if the queue is empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns:
+            ``True`` if an event was executed, ``False`` if the queue was empty.
+        """
+        self._discard_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._events_processed += 1
+        event.fire()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run the simulation.
+
+        Args:
+            until: Stop once the next event would fire strictly after this
+                time; the clock is advanced to ``until``.  ``None`` runs until
+                the event queue drains.
+            max_events: Safety valve; stop after this many events.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        limit = math.inf if until is None else until
+        budget = math.inf if max_events is None else max_events
+        try:
+            executed = 0
+            while executed < budget:
+                self._discard_cancelled()
+                if not self._heap:
+                    break
+                if self._heap[0].time > limit:
+                    break
+                self.step()
+                executed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False

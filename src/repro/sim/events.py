@@ -1,0 +1,48 @@
+"""Event primitives for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+
+class Event:
+    """A scheduled callback in the simulation.
+
+    Events are ordered by ``(time, sequence_number)`` so that events scheduled
+    for the same instant fire in the order they were scheduled, which keeps
+    simulations deterministic.
+
+    An event can be cancelled before it fires; cancelled events are skipped by
+    the engine (lazy deletion, so cancellation is O(1)).
+    """
+
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[..., Any],
+        args: Tuple = (),
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it reaches the heap top."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback with its bound arguments."""
+        self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.9f} seq={self.sequence} {name}{state}>"

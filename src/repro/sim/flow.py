@@ -1,0 +1,96 @@
+"""Flow model: a unidirectional transfer of bytes between two hosts."""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+_flow_counter = itertools.count()
+
+
+def reset_flow_ids() -> None:
+    """Reset the global flow-id counter (used by tests for determinism)."""
+    global _flow_counter
+    _flow_counter = itertools.count()
+
+
+#: Default maximum segment size in bytes (Ethernet MTU minus typical headers).
+DEFAULT_MSS = 1460
+
+
+@dataclass(eq=False)
+class Flow:
+    """A flow: ``size_bytes`` to move from ``src`` to ``dst`` starting at ``start_time``.
+
+    Flows are mutable bookkeeping objects with identity semantics (``eq=False``),
+    so they can be collected in sets and dictionaries while the transport layer
+    updates their progress counters.
+
+    The transport layer (UDP or TCP) segments the flow into packets of at most
+    ``mss`` bytes and is responsible for updating the completion bookkeeping.
+
+    Attributes:
+        src: Source host name.
+        dst: Destination host name.
+        size_bytes: Total number of application bytes to transfer.
+        start_time: Simulation time at which the flow becomes active.
+        mss: Maximum segment size used when packetizing the flow.
+        weight: Relative weight for weighted-fairness experiments.
+    """
+
+    src: str
+    dst: str
+    size_bytes: float
+    start_time: float
+    mss: int = DEFAULT_MSS
+    weight: float = 1.0
+    flow_id: int = field(default_factory=lambda: next(_flow_counter))
+
+    # --- progress bookkeeping maintained by the transport layer ---
+    bytes_sent: float = 0.0
+    bytes_delivered: float = 0.0
+    bytes_acked: float = 0.0
+    completion_time: Optional[float] = None
+    first_packet_time: Optional[float] = None
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+    retransmissions: int = 0
+
+    @property
+    def num_packets(self) -> int:
+        """Number of data packets needed to carry the flow at its MSS."""
+        if self.size_bytes <= 0:
+            return 0
+        return int(math.ceil(self.size_bytes / self.mss))
+
+    @property
+    def completed(self) -> bool:
+        """Whether every byte of the flow has been delivered to the receiver."""
+        return self.completion_time is not None
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Flow completion time (delivery of last byte minus flow start)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.start_time
+
+    def packet_sizes(self) -> list:
+        """Sizes of the data packets that carry this flow, in order."""
+        if self.size_bytes <= 0:
+            return []
+        full_packets = int(self.size_bytes // self.mss)
+        sizes = [float(self.mss)] * full_packets
+        remainder = self.size_bytes - full_packets * self.mss
+        if remainder > 0:
+            sizes.append(float(remainder))
+        return sizes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<Flow id={self.flow_id} {self.src}->{self.dst} "
+            f"{self.size_bytes}B start={self.start_time:.6f}>"
+        )

@@ -1,0 +1,204 @@
+"""Output port: the queue + transmitter attached to each directed link.
+
+A port owns exactly one :class:`~repro.schedulers.base.Scheduler` and one
+:class:`~repro.sim.link.Link`.  It implements the store-and-forward,
+non-preemptive transmission loop used throughout the paper's model:
+
+1. Arriving packets are handed to the scheduler (possibly dropping a packet
+   if the buffer is finite and full).
+2. When the transmitter is idle, the scheduler picks the next packet; the
+   port serializes it for ``size / bandwidth`` seconds.
+3. When the last bit has been transmitted the packet is handed to the link,
+   which delivers it to the downstream node after the propagation delay.
+
+Preemption (used only by the preemptive-LSTF ablation) aborts an in-flight
+transmission, re-queues the remaining bytes, and lets the scheduler pick
+again.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.events import Event
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schedulers.base import Scheduler
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Node
+
+
+class OutputPort:
+    """Transmission queue for one unidirectional link.
+
+    Args:
+        sim: The simulation engine.
+        node: The node that owns this port.
+        link: The outgoing link served by this port.
+        scheduler: Packet scheduler deciding service order.
+        buffer_bytes: Buffer capacity in bytes; ``None`` means infinite (the
+            paper's replay experiments use effectively infinite buffers so
+            that no packet is dropped).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        link: Link,
+        scheduler: "Scheduler",
+        buffer_bytes: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.link = link
+        self.scheduler = scheduler
+        self.buffer_bytes = buffer_bytes
+        scheduler.attach(self)
+
+        self._busy = False
+        self._current_packet: Optional[Packet] = None
+        self._current_started: Optional[float] = None
+        self._finish_event: Optional[Event] = None
+        # Counters for monitoring and tests.
+        self.packets_transmitted = 0
+        self.bytes_transmitted = 0.0
+        self.packets_dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def busy(self) -> bool:
+        """Whether a packet is currently being transmitted."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Number of packets waiting (excluding the one in flight)."""
+        return len(self.scheduler)
+
+    @property
+    def queued_bytes(self) -> float:
+        """Bytes waiting (excluding the one in flight)."""
+        return self.scheduler.byte_count
+
+    @property
+    def current_packet(self) -> Optional[Packet]:
+        """The packet currently being transmitted, if any."""
+        return self._current_packet
+
+    # ------------------------------------------------------------------ #
+    # Enqueue / drop
+    # ------------------------------------------------------------------ #
+    def enqueue(self, packet: Packet) -> None:
+        """Accept a packet for transmission on this port."""
+        now = self.sim.now
+        if self.buffer_bytes is not None and (
+            self.queued_bytes + packet.size_bytes > self.buffer_bytes
+        ):
+            victim = self.scheduler.choose_drop(packet, now)
+            if victim is not packet:
+                removed = self.scheduler.remove(victim)
+                if not removed:
+                    # The victim could not be located (defensive path); fall
+                    # back to dropping the arriving packet.
+                    victim = packet
+            if victim is packet:
+                self._drop(packet)
+                return
+            self._drop(victim)
+
+        self.scheduler.enqueue(packet, now)
+        if not self._busy:
+            self._start_next()
+        elif self.scheduler.preemptive and self._current_packet is not None:
+            if self.scheduler.should_preempt(
+                self._current_packet, self._current_started, now
+            ):
+                self._preempt_current()
+                self._start_next()
+
+    def _drop(self, packet: Packet) -> None:
+        packet.dropped = True
+        packet.drop_node = self.node.name
+        self.packets_dropped += 1
+        self.node.notify_drop(packet, self)
+
+    # ------------------------------------------------------------------ #
+    # Transmission loop
+    # ------------------------------------------------------------------ #
+    def _start_next(self) -> None:
+        packet = self.scheduler.dequeue(self.sim.now)
+        if packet is None:
+            self._busy = False
+            self._current_packet = None
+            self._current_started = None
+            self._finish_event = None
+            return
+
+        hop = packet.current_hop()
+        if hop is not None and hop.start_service_time is None:
+            hop.start_service_time = self.sim.now
+            # Accumulate the queueing delay experienced at this node into the
+            # packet header; FIFO+ prioritizes on this value at later hops.
+            packet.header.accumulated_wait += self.sim.now - hop.arrival_time
+
+        tx_bytes = (
+            packet.remaining_tx_bytes
+            if packet.remaining_tx_bytes is not None
+            else packet.size_bytes
+        )
+        tx_delay = self.link.transmission_delay(tx_bytes)
+
+        self._busy = True
+        self._current_packet = packet
+        self._current_started = self.sim.now
+        self._finish_event = self.sim.schedule(tx_delay, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        packet.remaining_tx_bytes = None
+        hop = packet.current_hop()
+        if hop is not None:
+            hop.departure_time = self.sim.now
+        self.packets_transmitted += 1
+        self.bytes_transmitted += packet.size_bytes
+
+        self.node.notify_departure(packet, self)
+        # Deliver after the propagation delay; the downstream node receives
+        # the packet fully assembled (store-and-forward).
+        destination = self.node.network.nodes[self.link.dst]
+        self.sim.schedule(self.link.propagation_delay, destination.receive, packet)
+
+        self._busy = False
+        self._current_packet = None
+        self._current_started = None
+        self._finish_event = None
+        self._start_next()
+
+    def _preempt_current(self) -> None:
+        """Abort the in-flight transmission and requeue its remaining bytes."""
+        packet = self._current_packet
+        if packet is None or self._finish_event is None or self._current_started is None:
+            return
+        self.sim.cancel(self._finish_event)
+        elapsed = self.sim.now - self._current_started
+        total_bytes = (
+            packet.remaining_tx_bytes
+            if packet.remaining_tx_bytes is not None
+            else packet.size_bytes
+        )
+        sent_bytes = elapsed * self.link.bandwidth_bps / 8.0
+        packet.remaining_tx_bytes = max(0.0, total_bytes - sent_bytes)
+        # The packet goes back to the queue; its hop record will get a new
+        # service-start time when it is next selected.
+        hop = packet.current_hop()
+        if hop is not None:
+            hop.start_service_time = None
+        self.scheduler.enqueue(packet, self.sim.now)
+        self._busy = False
+        self._current_packet = None
+        self._current_started = None
+        self._finish_event = None

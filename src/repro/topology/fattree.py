@@ -1,0 +1,69 @@
+"""Full-bisection-bandwidth fat-tree datacenter topology.
+
+Table 1's "Datacenter" row uses the full-bisection-bandwidth fat-tree from
+pFabric with 10 Gbps links.  We build the standard k-ary fat-tree: ``k`` pods,
+each with ``k/2`` edge and ``k/2`` aggregation switches, ``(k/2)^2`` core
+switches, and ``k^3/4`` hosts, every link at the same bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.topology.base import Topology
+from repro.utils.units import gbps, microseconds
+
+
+def fattree_topology(
+    k: int = 4,
+    bandwidth_bps: float = gbps(10),
+    link_delay: float = microseconds(2),
+    host_link_delay: float = microseconds(1),
+    scale: float = 1.0,
+    name: Optional[str] = None,
+) -> Topology:
+    """Build a k-ary fat-tree.
+
+    Args:
+        k: Fat-tree arity; must be even.  ``k=4`` gives 16 hosts and 20
+            switches, ``k=8`` gives 128 hosts.
+        bandwidth_bps: Uniform link bandwidth (paper: 10 Gbps).
+        link_delay: Propagation delay of switch-to-switch links.
+        host_link_delay: Propagation delay of host-to-edge links.
+        scale: Divide every bandwidth by this factor for laptop-scale runs.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError(f"fat-tree arity must be a positive even number, got {k}")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+    bandwidth = bandwidth_bps / scale
+    half = k // 2
+    topo = Topology(name or f"fattree-k{k}")
+
+    core_switches = [
+        topo.add_router(f"core-{i}-{j}") for i in range(half) for j in range(half)
+    ]
+
+    for pod in range(k):
+        aggregation = [topo.add_router(f"agg-{pod}-{i}") for i in range(half)]
+        edges = [topo.add_router(f"edge-{pod}-{i}") for i in range(half)]
+
+        # Aggregation <-> core: aggregation switch i connects to core group i.
+        for agg_index, agg in enumerate(aggregation):
+            for j in range(half):
+                core = core_switches[agg_index * half + j]
+                topo.add_link(agg, core, bandwidth, link_delay)
+
+        # Edge <-> aggregation: full mesh within the pod.
+        for edge in edges:
+            for agg in aggregation:
+                topo.add_link(edge, agg, bandwidth, link_delay)
+
+        # Hosts <-> edge.
+        for edge_index, edge in enumerate(edges):
+            for host_index in range(half):
+                host = topo.add_host(f"host-{pod}-{edge_index}-{host_index}")
+                topo.add_link(host, edge, bandwidth, host_link_delay)
+
+    return topo

@@ -1,0 +1,108 @@
+"""RocketFuel-like ISP topology.
+
+Table 1 of the paper includes "a bigger Rocketfuel topology (with 83 routers
+and 131 links in the core)".  The measured RocketFuel data files are not
+redistributable here, so we generate a deterministic pseudo-random ISP-like
+core with exactly 83 routers and 131 links: a random spanning tree (to
+guarantee connectivity) plus extra random edges up to the target link count.
+The paper's observation about this row of Table 1 depends on the topology's
+scale and on "half of the core links ... set to have bandwidths smaller than
+the access links", both of which are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.topology.base import Topology
+from repro.utils.rng import RandomState
+from repro.utils.units import gbps, milliseconds
+
+
+def rocketfuel_topology(
+    num_core_routers: int = 83,
+    num_core_links: int = 131,
+    edge_routers_per_core: int = 1,
+    hosts_per_edge: int = 1,
+    access_bandwidth_bps: float = gbps(1),
+    host_bandwidth_bps: float = gbps(10),
+    fast_core_bandwidth_bps: float = gbps(10),
+    slow_core_bandwidth_bps: float = gbps(0.62),
+    seed: int = 42,
+    scale: float = 1.0,
+    name: Optional[str] = None,
+) -> Topology:
+    """Generate a RocketFuel-like ISP topology.
+
+    Half of the core links use ``slow_core_bandwidth_bps`` (smaller than the
+    access links) and half use ``fast_core_bandwidth_bps``, reproducing the
+    bandwidth skew the paper identifies as the cause of the higher replay
+    failure rate on this topology.
+
+    Args:
+        num_core_routers: Core router count (paper: 83).
+        num_core_links: Core link count (paper: 131).
+        edge_routers_per_core: Edge-router fan-out per core router.
+        hosts_per_edge: Hosts per edge router.
+        seed: Seed for the deterministic topology generator.
+        scale: Divide every bandwidth by this factor for laptop-scale runs.
+    """
+    if num_core_links < num_core_routers - 1:
+        raise ValueError("need at least a spanning tree's worth of core links")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+    rng = RandomState(seed)
+    topo = Topology(name or f"rocketfuel-{num_core_routers}r-{num_core_links}l")
+
+    def scaled(bandwidth: float) -> float:
+        return bandwidth / scale
+
+    core_names = [topo.add_router(f"core-{i}") for i in range(num_core_routers)]
+
+    # Random spanning tree: attach each new router to a uniformly random
+    # earlier router, which yields a connected, loosely hierarchical core.
+    edges = set()
+    for index in range(1, num_core_routers):
+        parent = rng.randint(0, index)
+        edges.add((parent, index))
+
+    # Add extra random edges until we reach the target link count.
+    attempts = 0
+    max_attempts = 100 * num_core_links
+    while len(edges) < num_core_links and attempts < max_attempts:
+        attempts += 1
+        a = rng.randint(0, num_core_routers)
+        b = rng.randint(0, num_core_routers)
+        if a == b:
+            continue
+        edge = (min(a, b), max(a, b))
+        if edge in edges:
+            continue
+        edges.add(edge)
+    if len(edges) < num_core_links:
+        raise RuntimeError(
+            "failed to generate the requested number of core links; "
+            "increase the router count or lower the link count"
+        )
+
+    ordered_edges = sorted(edges)
+    for index, (a, b) in enumerate(ordered_edges):
+        bandwidth = (
+            slow_core_bandwidth_bps if index % 2 == 0 else fast_core_bandwidth_bps
+        )
+        delay = milliseconds(1.0 + (index % 7))
+        topo.add_link(core_names[a], core_names[b], scaled(bandwidth), delay)
+
+    edge_delay = milliseconds(0.5)
+    host_delay = milliseconds(0.05)
+    for core_index, core in enumerate(core_names):
+        for edge_index in range(edge_routers_per_core):
+            edge_name = f"edge-{core_index}-{edge_index}"
+            topo.add_router(edge_name)
+            topo.add_link(edge_name, core, scaled(access_bandwidth_bps), edge_delay)
+            for host_index in range(hosts_per_edge):
+                host_name = f"host-{core_index}-{edge_index}-{host_index}"
+                topo.add_host(host_name)
+                topo.add_link(host_name, edge_name, scaled(host_bandwidth_bps), host_delay)
+    return topo

@@ -1,0 +1,34 @@
+"""Traffic generation: flow-size distributions, Poisson arrivals, and sizing helpers."""
+
+from repro.traffic.distributions import (
+    BoundedParetoSize,
+    ConstantSize,
+    EmpiricalSize,
+    ExponentialSize,
+    FlowSizeDistribution,
+    data_mining_workload,
+    paper_default_workload,
+    web_search_workload,
+)
+from repro.traffic.flowgen import PoissonFlowGenerator, StaticFlowSet
+from repro.traffic.workload import (
+    WorkloadSpec,
+    arrival_rate_for_utilization,
+    utilization_of_rate,
+)
+
+__all__ = [
+    "FlowSizeDistribution",
+    "ConstantSize",
+    "ExponentialSize",
+    "BoundedParetoSize",
+    "EmpiricalSize",
+    "web_search_workload",
+    "data_mining_workload",
+    "paper_default_workload",
+    "PoissonFlowGenerator",
+    "StaticFlowSet",
+    "WorkloadSpec",
+    "arrival_rate_for_utilization",
+    "utilization_of_rate",
+]

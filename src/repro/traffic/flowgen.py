@@ -1,0 +1,186 @@
+"""Poisson flow generation.
+
+Each source host originates flows according to a Poisson process; every flow
+picks a destination uniformly at random among the other hosts, draws its size
+from the workload's heavy-tailed distribution, and is carried by either UDP
+(open loop) or the simplified TCP (closed loop).  This mirrors the paper's
+"each end host generates UDP flows using a Poisson inter-arrival model" with
+"flow sizes picked from a heavy-tailed distribution".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+from repro.sim.flow import Flow
+from repro.traffic.distributions import FlowSizeDistribution
+from repro.transport.tcp import start_tcp_flow
+from repro.transport.udp import start_udp_flow
+from repro.utils.rng import RandomState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
+
+
+class PoissonFlowGenerator:
+    """Generates flows from each source host with exponential inter-arrival times.
+
+    Args:
+        sim: Simulation engine.
+        network: The network flows are injected into.
+        sources: Host names that originate flows (defaults to all hosts).
+        destinations: Candidate destination host names (defaults to all hosts;
+            a flow never picks its own source as destination).
+        arrival_rate_per_source: Poisson rate (flows/second) per source host.
+        size_distribution: Flow-size distribution (bytes).
+        transport: ``"udp"`` or ``"tcp"``.
+        rng: Random source (a child stream is derived per source host).
+        start_time: When flow generation begins.
+        stop_time: When flow generation ends (flows already started keep
+            running until the simulation ends).
+        mss: Maximum segment size handed to the transport.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        network: "Network",
+        arrival_rate_per_source: float,
+        size_distribution: FlowSizeDistribution,
+        transport: str = "udp",
+        sources: Optional[Sequence[str]] = None,
+        destinations: Optional[Sequence[str]] = None,
+        rng: Optional[RandomState] = None,
+        start_time: float = 0.0,
+        stop_time: Optional[float] = None,
+        mss: int = 1460,
+    ) -> None:
+        if arrival_rate_per_source <= 0:
+            raise ValueError("arrival rate must be positive")
+        if transport not in ("udp", "tcp"):
+            raise ValueError(f"transport must be 'udp' or 'tcp', got {transport!r}")
+
+        self.sim = sim
+        self.network = network
+        self.rate = arrival_rate_per_source
+        self.size_distribution = size_distribution
+        self.transport = transport
+        all_hosts = [host.name for host in network.hosts()]
+        self.sources: List[str] = list(sources) if sources is not None else all_hosts
+        self.destinations: List[str] = (
+            list(destinations) if destinations is not None else all_hosts
+        )
+        if not self.sources:
+            raise ValueError("need at least one source host")
+        if len(set(self.destinations)) < 2 and self.destinations == self.sources:
+            raise ValueError("need at least two hosts to pick distinct src/dst pairs")
+        self.rng = rng if rng is not None else RandomState(0)
+        self.start_time = start_time
+        self.stop_time = stop_time
+        self.mss = mss
+
+        self.flows: List[Flow] = []
+        self.agents: List[object] = []
+        self._installed = False
+
+    # ------------------------------------------------------------------ #
+    # Installation
+    # ------------------------------------------------------------------ #
+    def install(self) -> None:
+        """Schedule the first flow arrival at every source host."""
+        if self._installed:
+            raise RuntimeError("flow generator already installed")
+        self._installed = True
+        for source in self.sources:
+            first_gap = self.rng.exponential(1.0 / self.rate)
+            self.sim.schedule_at(
+                max(self.sim.now, self.start_time) + first_gap,
+                self._arrival,
+                source,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Flow arrivals
+    # ------------------------------------------------------------------ #
+    def _arrival(self, source: str) -> None:
+        if self.stop_time is not None and self.sim.now > self.stop_time:
+            return
+        flow = self._create_flow(source)
+        self.flows.append(flow)
+        self._start_flow(flow)
+        next_gap = self.rng.exponential(1.0 / self.rate)
+        self.sim.schedule(next_gap, self._arrival, source)
+
+    def _create_flow(self, source: str) -> Flow:
+        destination = self._pick_destination(source)
+        size = self.size_distribution.sample(self.rng)
+        return Flow(
+            src=source,
+            dst=destination,
+            size_bytes=size,
+            start_time=self.sim.now,
+            mss=self.mss,
+        )
+
+    def _pick_destination(self, source: str) -> str:
+        candidates = [name for name in self.destinations if name != source]
+        if not candidates:
+            raise RuntimeError(f"no destination available for source {source}")
+        return self.rng.choice(candidates)
+
+    def _start_flow(self, flow: Flow) -> None:
+        if self.transport == "udp":
+            agent = start_udp_flow(self.sim, self.network, flow)
+        else:
+            agent = start_tcp_flow(self.sim, self.network, flow)
+        self.agents.append(agent)
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def completed_flows(self) -> List[Flow]:
+        """Flows that finished delivering every byte."""
+        return [flow for flow in self.flows if flow.completed]
+
+    def completion_ratio(self) -> float:
+        """Fraction of generated flows that completed."""
+        if not self.flows:
+            return 0.0
+        return len(self.completed_flows()) / len(self.flows)
+
+
+class StaticFlowSet:
+    """A fixed, explicitly listed set of flows (used by the fairness experiment).
+
+    Args:
+        sim: Simulation engine.
+        network: Target network.
+        flows: Flows to start (their ``start_time`` fields are honored).
+        transport: ``"udp"`` or ``"tcp"``.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        network: "Network",
+        flows: Sequence[Flow],
+        transport: str = "tcp",
+    ) -> None:
+        if transport not in ("udp", "tcp"):
+            raise ValueError(f"transport must be 'udp' or 'tcp', got {transport!r}")
+        self.sim = sim
+        self.network = network
+        self.flows: List[Flow] = list(flows)
+        self.transport = transport
+        self.agents: List[object] = []
+        self._installed = False
+
+    def install(self) -> None:
+        """Start every flow's transport agent."""
+        if self._installed:
+            raise RuntimeError("flow set already installed")
+        self._installed = True
+        starter: Callable = start_udp_flow if self.transport == "udp" else start_tcp_flow
+        for flow in self.flows:
+            self.agents.append(starter(self.sim, self.network, flow))

@@ -1,0 +1,124 @@
+"""Small statistics helpers shared by the analysis and experiment layers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class OnlineStats:
+    """Streaming mean / variance / min / max accumulator (Welford's method).
+
+    Useful when a simulation produces millions of per-packet samples and we do
+    not want to hold them all in memory.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many samples into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the samples seen so far (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation of the samples seen so far."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new accumulator equivalent to seeing both sample streams."""
+        merged = OnlineStats()
+        merged.count = self.count + other.count
+        if merged.count == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._mean = self._mean + delta * other.count / merged.count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / merged.count
+        )
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values`` using linear interpolation."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if len(values) == 0:
+        raise ValueError("cannot compute a percentile of an empty sequence")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean of ``values``."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    if len(values) == 0:
+        raise ValueError("cannot average an empty sequence")
+    total_weight = float(np.sum(weights))
+    if total_weight <= 0:
+        raise ValueError("total weight must be positive")
+    return float(np.dot(values, weights) / total_weight)
+
+
+def jain_fairness_index(allocations: Sequence[float]) -> float:
+    """Jain's fairness index of a set of allocations.
+
+    Defined as ``(sum x_i)^2 / (n * sum x_i^2)``; equals 1.0 when all
+    allocations are equal and approaches ``1/n`` when a single user receives
+    everything.  An empty or all-zero allocation vector returns 0.0.
+    """
+    arr = np.asarray(allocations, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    total = arr.sum()
+    sum_of_squares = float(np.dot(arr, arr))
+    if sum_of_squares == 0.0:
+        return 0.0
+    return float(total * total / (arr.size * sum_of_squares))
+
+
+def cdf_points(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Empirical CDF of ``values`` as ``(sorted_values, cumulative_fractions)``."""
+    if len(values) == 0:
+        return [], []
+    sorted_values = np.sort(np.asarray(values, dtype=float))
+    fractions = np.arange(1, sorted_values.size + 1) / sorted_values.size
+    return sorted_values.tolist(), fractions.tolist()
+
+
+def ccdf_points(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Empirical complementary CDF (survival function) of ``values``."""
+    xs, cdf = cdf_points(values)
+    return xs, [1.0 - f for f in cdf]

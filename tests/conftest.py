@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedulers import uniform_factory
+from repro.sim import Simulator, Tracer, reset_flow_ids, reset_packet_ids
+from repro.sim.flow import Flow
+from repro.sim.packet import Packet
+from repro.topology import dumbbell_topology, linear_topology, single_switch_topology
+from repro.traffic import WorkloadSpec, paper_default_workload
+from repro.utils import RandomState, mbps
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_counters():
+    """Keep packet and flow ids deterministic within each test."""
+    reset_packet_ids()
+    reset_flow_ids()
+    yield
+
+
+@pytest.fixture
+def rng() -> RandomState:
+    """A deterministic random source."""
+    return RandomState(123)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulation engine."""
+    return Simulator()
+
+
+@pytest.fixture
+def dumbbell():
+    """A 4-pair dumbbell topology with a 10 Mbps bottleneck."""
+    return dumbbell_topology(
+        num_pairs=4,
+        bottleneck_bandwidth_bps=mbps(10),
+        access_bandwidth_bps=mbps(100),
+    )
+
+
+@pytest.fixture
+def small_line():
+    """A 3-router linear topology with one host pair."""
+    return linear_topology(num_routers=3, bandwidth_bps=mbps(10), hosts_per_end=1)
+
+
+@pytest.fixture
+def star():
+    """A single-switch star with 4 hosts."""
+    return single_switch_topology(num_hosts=4, bandwidth_bps=mbps(10))
+
+
+@pytest.fixture
+def udp_workload():
+    """A small UDP workload at 60% utilization of a 10 Mbps reference link."""
+    return WorkloadSpec(
+        utilization=0.6,
+        reference_bandwidth_bps=mbps(10),
+        size_distribution=paper_default_workload(),
+        transport="udp",
+        duration=0.3,
+    )
+
+
+@pytest.fixture
+def fifo_network(sim, dumbbell):
+    """A built dumbbell network with FIFO everywhere and a tracer."""
+    tracer = Tracer()
+    network = dumbbell.build(sim, uniform_factory("fifo"), tracer=tracer)
+    return network
+
+
+def make_packet(
+    src: str = "src0",
+    dst: str = "dst0",
+    size_bytes: float = 1000.0,
+    flow_id: int = 1,
+    **header_fields,
+) -> Packet:
+    """Helper to build a packet with optional header fields pre-set."""
+    packet = Packet(flow_id=flow_id, src=src, dst=dst, size_bytes=size_bytes)
+    for name, value in header_fields.items():
+        setattr(packet.header, name, value)
+    return packet
+
+
+def make_flow(
+    src: str = "src0",
+    dst: str = "dst0",
+    size_bytes: float = 14600.0,
+    start_time: float = 0.0,
+) -> Flow:
+    """Helper to build a flow."""
+    return Flow(src=src, dst=dst, size_bytes=size_bytes, start_time=start_time)

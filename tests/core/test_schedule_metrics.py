@@ -1,0 +1,156 @@
+"""Tests for schedule records, congestion-point analysis, and replay metrics."""
+
+import pytest
+
+from repro.core.metrics import compare_schedules, fraction_overdue, lateness_distribution
+from repro.core.schedule import HopTiming, PacketRecord, Schedule
+from repro.schedulers import uniform_factory
+from repro.sim import Simulation, Simulator
+from repro.sim.flow import Flow
+from repro.sim.packet import Packet
+from repro.topology import linear_topology
+from repro.transport import start_udp_flow
+from repro.utils import mbps
+
+
+def record(pid, ingress=0.0, output=1.0, queueing=(), path=("a", "r", "b")):
+    hops = [
+        HopTiming(node=f"n{i}", arrival_time=0.0, start_service_time=q, departure_time=None)
+        for i, q in enumerate(queueing)
+    ]
+    return PacketRecord(
+        packet_id=pid,
+        flow_id=pid,
+        src=path[0],
+        dst=path[-1],
+        size_bytes=1000,
+        ingress_time=ingress,
+        output_time=output,
+        path=list(path),
+        hops=hops,
+    )
+
+
+class TestPacketRecord:
+    def test_from_packet_requires_delivery(self):
+        packet = Packet(flow_id=1, src="a", dst="b", size_bytes=100)
+        with pytest.raises(ValueError):
+            PacketRecord.from_packet(packet)
+
+    def test_from_simulated_packet_captures_path_and_times(self):
+        topo = linear_topology(2, mbps(10))
+        simulation = Simulation(topo, uniform_factory("fifo"))
+        flow = Flow(src="src0", dst="dst0", size_bytes=2920, start_time=0.0)
+        start_udp_flow(simulation.sim, simulation.network, flow)
+        simulation.sim.run()
+        packet = simulation.tracer.delivered_data_packets()[0]
+        rec = PacketRecord.from_packet(packet)
+        assert rec.path == ["src0", "r0", "r1", "dst0"]
+        assert rec.output_time > rec.ingress_time
+        assert rec.network_delay == pytest.approx(packet.end_to_end_delay)
+
+    def test_congestion_points_count_waiting_hops(self):
+        rec = record(1, queueing=(0.0, 0.5, 0.0, 0.2))
+        # Hops are built with arrival 0 and service time = the given value, so
+        # nonzero values are congestion points.
+        assert rec.congestion_points() == 2
+
+    def test_hop_output_times_skips_missing(self):
+        rec = record(1, queueing=(0.1, 0.2))
+        assert rec.hop_output_times() == [0.1, 0.2]
+
+
+class TestSchedule:
+    def test_duplicate_packet_ids_rejected(self):
+        schedule = Schedule([record(1)])
+        with pytest.raises(ValueError):
+            schedule.add(record(1))
+
+    def test_records_sorted_by_ingress(self):
+        schedule = Schedule([record(1, ingress=5.0), record(2, ingress=1.0)])
+        assert [r.packet_id for r in schedule.records()] == [2, 1]
+
+    def test_lookup_and_membership(self):
+        schedule = Schedule([record(7)])
+        assert 7 in schedule
+        assert schedule.get(8) is None
+        with pytest.raises(KeyError):
+            schedule.record(8)
+
+    def test_time_span_and_totals(self):
+        schedule = Schedule([record(1, ingress=1.0, output=2.0), record(2, ingress=0.5, output=4.0)])
+        assert schedule.time_span() == (0.5, 4.0)
+        assert schedule.total_bytes() == 2000
+        assert len(schedule) == 2
+
+    def test_congestion_point_histogram(self):
+        schedule = Schedule(
+            [record(1, queueing=(0.1,)), record(2, queueing=(0.1, 0.1)), record(3, queueing=())]
+        )
+        assert schedule.congestion_point_histogram() == {0: 1, 1: 1, 2: 1}
+        assert schedule.max_congestion_points() == 2
+
+    def test_from_packets_with_replay_ids(self):
+        packet = Packet(flow_id=1, src="a", dst="b", size_bytes=100, replay_of=99)
+        packet.ingress_time = 0.0
+        packet.egress_time = 1.0
+        schedule = Schedule.from_packets([packet], use_replay_ids=True)
+        assert 99 in schedule
+
+
+class TestReplayMetrics:
+    def test_perfect_replay_has_no_overdue(self):
+        original = Schedule([record(1, output=1.0), record(2, output=2.0)])
+        replay = Schedule([record(1, output=1.0), record(2, output=1.5)])
+        metrics = compare_schedules(original, replay, threshold=0.1)
+        assert metrics.overdue_fraction == 0.0
+        assert metrics.overdue_beyond_threshold_fraction == 0.0
+        assert metrics.mean_lateness == 0.0
+
+    def test_overdue_and_threshold_counting(self):
+        original = Schedule([record(i, output=1.0) for i in range(4)])
+        replay = Schedule(
+            [
+                record(0, output=1.0),     # on time
+                record(1, output=1.05),    # overdue, within threshold
+                record(2, output=1.5),     # overdue beyond threshold
+                record(3, output=0.9),     # early
+            ]
+        )
+        metrics = compare_schedules(original, replay, threshold=0.1)
+        assert metrics.total_packets == 4
+        assert metrics.overdue_count == 2
+        assert metrics.overdue_beyond_threshold_count == 1
+        assert metrics.overdue_fraction == pytest.approx(0.5)
+        assert metrics.max_lateness == pytest.approx(0.5)
+
+    def test_missing_replay_packet_counts_as_overdue(self):
+        original = Schedule([record(1), record(2)])
+        replay = Schedule([record(1)])
+        metrics = compare_schedules(original, replay, threshold=0.1)
+        assert metrics.missing_packets == 1
+        assert metrics.overdue_count == 1
+        assert metrics.overdue_beyond_threshold_count == 1
+
+    def test_tiny_lateness_below_tolerance_ignored(self):
+        original = Schedule([record(1, output=1.0)])
+        replay = Schedule([record(1, output=1.0 + 1e-12)])
+        assert fraction_overdue(original, replay) == 0.0
+
+    def test_queueing_delay_ratios_collected(self):
+        original = Schedule([record(1, queueing=(0.2,))])
+        replay = Schedule([record(1, queueing=(0.1,))])
+        metrics = compare_schedules(original, replay, threshold=0.1)
+        assert metrics.queueing_delay_ratios == [pytest.approx(0.5)]
+
+    def test_lateness_distribution(self):
+        original = Schedule([record(1, output=1.0), record(2, output=1.0)])
+        replay = Schedule([record(1, output=1.2), record(2, output=0.8)])
+        lateness = lateness_distribution(original, replay)
+        assert sorted(round(x, 6) for x in lateness) == [-0.2, 0.2]
+
+    def test_empty_schedules(self):
+        metrics = compare_schedules(Schedule(), Schedule(), threshold=0.1)
+        assert metrics.total_packets == 0
+        assert metrics.overdue_fraction == 0.0
+        assert metrics.summary()["overdue_fraction"] == 0.0

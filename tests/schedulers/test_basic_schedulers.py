@@ -1,0 +1,159 @@
+"""Unit tests for FIFO, LIFO, Random, and static-priority scheduling order."""
+
+import pytest
+
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.lifo import LifoScheduler
+from repro.schedulers.priority import SjfScheduler, StaticPriorityScheduler
+from repro.schedulers.random_sched import RandomScheduler
+from repro.sim.packet import Packet
+from repro.utils.rng import RandomState
+
+
+def packet(size=1000, priority=None, flow_size=None, flow_id=1):
+    pkt = Packet(flow_id=flow_id, src="a", dst="b", size_bytes=size)
+    pkt.header.priority = priority
+    pkt.header.flow_size_bytes = flow_size
+    return pkt
+
+
+def drain(scheduler, now=0.0):
+    out = []
+    while True:
+        item = scheduler.dequeue(now)
+        if item is None:
+            break
+        out.append(item)
+    return out
+
+
+class TestFifo:
+    def test_serves_in_arrival_order(self):
+        scheduler = FifoScheduler()
+        packets = [packet() for _ in range(5)]
+        for index, pkt in enumerate(packets):
+            scheduler.enqueue(pkt, float(index))
+        assert drain(scheduler) == packets
+
+    def test_len_and_bytes_track_queue(self):
+        scheduler = FifoScheduler()
+        scheduler.enqueue(packet(size=100), 0.0)
+        scheduler.enqueue(packet(size=200), 0.0)
+        assert len(scheduler) == 2
+        assert scheduler.byte_count == 300
+        scheduler.dequeue(0.0)
+        assert len(scheduler) == 1
+        assert scheduler.byte_count == 200
+
+    def test_remove_specific_packet(self):
+        scheduler = FifoScheduler()
+        first, second = packet(), packet()
+        scheduler.enqueue(first, 0.0)
+        scheduler.enqueue(second, 0.0)
+        assert scheduler.remove(first)
+        assert not scheduler.remove(first)
+        assert drain(scheduler) == [second]
+
+    def test_dequeue_empty_returns_none(self):
+        assert FifoScheduler().dequeue(0.0) is None
+
+
+class TestLifo:
+    def test_serves_most_recent_first(self):
+        scheduler = LifoScheduler()
+        packets = [packet() for _ in range(4)]
+        for index, pkt in enumerate(packets):
+            scheduler.enqueue(pkt, float(index))
+        assert drain(scheduler) == list(reversed(packets))
+
+    def test_remove(self):
+        scheduler = LifoScheduler()
+        first, second = packet(), packet()
+        scheduler.enqueue(first, 0.0)
+        scheduler.enqueue(second, 0.0)
+        assert scheduler.remove(second)
+        assert drain(scheduler) == [first]
+
+
+class TestRandom:
+    def test_serves_all_packets_exactly_once(self):
+        scheduler = RandomScheduler(RandomState(1))
+        packets = [packet() for _ in range(20)]
+        for pkt in packets:
+            scheduler.enqueue(pkt, 0.0)
+        served = drain(scheduler)
+        assert sorted(p.packet_id for p in served) == sorted(p.packet_id for p in packets)
+
+    def test_order_is_seed_dependent_but_reproducible(self):
+        def order(seed):
+            scheduler = RandomScheduler(RandomState(seed))
+            packets = [packet() for _ in range(10)]
+            for pkt in packets:
+                scheduler.enqueue(pkt, 0.0)
+            return [p.packet_id for p in drain(scheduler)]
+
+        from repro.sim.packet import reset_packet_ids
+
+        reset_packet_ids()
+        first = order(5)
+        reset_packet_ids()
+        second = order(5)
+        reset_packet_ids()
+        different = order(6)
+        assert first == second
+        assert first != different
+
+    def test_random_order_differs_from_fifo_for_long_queues(self):
+        scheduler = RandomScheduler(RandomState(3))
+        packets = [packet() for _ in range(30)]
+        for pkt in packets:
+            scheduler.enqueue(pkt, 0.0)
+        assert drain(scheduler) != packets
+
+
+class TestStaticPriority:
+    def test_lowest_priority_value_served_first(self):
+        scheduler = StaticPriorityScheduler()
+        low = packet(priority=5.0)
+        urgent = packet(priority=1.0)
+        middle = packet(priority=3.0)
+        for pkt in (low, urgent, middle):
+            scheduler.enqueue(pkt, 0.0)
+        assert drain(scheduler) == [urgent, middle, low]
+
+    def test_missing_priority_served_last(self):
+        scheduler = StaticPriorityScheduler()
+        unprioritized = packet(priority=None)
+        prioritized = packet(priority=10.0)
+        scheduler.enqueue(unprioritized, 0.0)
+        scheduler.enqueue(prioritized, 1.0)
+        assert drain(scheduler) == [prioritized, unprioritized]
+
+    def test_ties_broken_fifo(self):
+        scheduler = StaticPriorityScheduler()
+        first = packet(priority=2.0)
+        second = packet(priority=2.0)
+        scheduler.enqueue(first, 0.0)
+        scheduler.enqueue(second, 1.0)
+        assert drain(scheduler) == [first, second]
+
+
+class TestSjf:
+    def test_smaller_flow_size_wins(self):
+        scheduler = SjfScheduler()
+        big = packet(flow_size=1e6)
+        small = packet(flow_size=1e3)
+        scheduler.enqueue(big, 0.0)
+        scheduler.enqueue(small, 0.0)
+        assert drain(scheduler) == [small, big]
+
+    def test_fallback_order(self):
+        scheduler = SjfScheduler()
+        sized = packet(flow_size=100.0)
+        prioritized = packet(flow_size=None, priority=50.0)
+        neither = packet(flow_size=None, priority=None)
+        for pkt in (neither, prioritized, sized):
+            scheduler.enqueue(pkt, 0.0)
+        served = drain(scheduler)
+        assert served[-1] is neither
+        assert set(served[:2]) == {sized, prioritized}

@@ -1,0 +1,112 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(1.5, fired.append, "middle")
+    sim.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, fired.append, label)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    times = []
+    sim.schedule(0.5, lambda: times.append(sim.now))
+    sim.schedule(1.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [0.5, 1.25]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "in-window")
+    sim.schedule(5.0, fired.append, "after-window")
+    sim.run(until=2.0)
+    assert fired == ["in-window"]
+    assert sim.now == 2.0
+    # The remaining event still fires if we continue.
+    sim.run()
+    assert fired == ["in-window", "after-window"]
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    sim.cancel(event)
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_events_scheduled_during_run_are_executed():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            sim.schedule(1.0, chain, depth + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.cancel(first)
+    assert sim.peek_next_time() == 2.0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_empty_run_leaves_clock_at_until():
+    sim = Simulator()
+    sim.run(until=3.0)
+    assert sim.now == 3.0

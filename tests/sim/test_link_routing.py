@@ -1,0 +1,99 @@
+"""Tests for links, routing tables, and tmin computation."""
+
+import networkx as nx
+import pytest
+
+from repro.schedulers import uniform_factory
+from repro.sim import Simulator
+from repro.sim.link import Link
+from repro.sim.routing import RoutingError, RoutingTable
+from repro.topology import linear_topology
+from repro.utils import mbps, transmission_delay
+
+
+class TestLink:
+    def test_transmission_and_latency(self):
+        link = Link("a", "b", bandwidth_bps=mbps(10), propagation_delay=0.001)
+        assert link.transmission_delay(1250) == pytest.approx(0.001)
+        assert link.latency(1250) == pytest.approx(0.002)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            Link("a", "b", bandwidth_bps=1e6, propagation_delay=-1)
+
+    def test_name(self):
+        assert Link("a", "b", 1e6).name == "a->b"
+
+
+class TestRoutingTable:
+    def _graph(self):
+        graph = nx.Graph()
+        graph.add_edges_from([("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")])
+        return graph
+
+    def test_shortest_path_and_next_hop(self):
+        table = RoutingTable(self._graph())
+        assert table.path("a", "c") in (["a", "b", "c"], ["a", "d", "c"])
+        assert table.next_hop("a", "c") in ("b", "d")
+        assert table.hop_count("a", "c") == 2
+
+    def test_path_to_self(self):
+        table = RoutingTable(self._graph())
+        assert table.path("a", "a") == ["a"]
+        with pytest.raises(RoutingError):
+            table.next_hop("a", "a")
+
+    def test_missing_route_raises(self):
+        graph = self._graph()
+        graph.add_node("isolated")
+        table = RoutingTable(graph)
+        with pytest.raises(RoutingError):
+            table.path("a", "isolated")
+
+    def test_paths_are_cached_and_deterministic(self):
+        table = RoutingTable(self._graph())
+        assert table.path("a", "c") is table.path("a", "c")
+
+
+class TestNetworkTmin:
+    def test_tmin_matches_hand_computation(self):
+        topo = linear_topology(num_routers=2, bandwidth_bps=mbps(10), hosts_per_end=1)
+        sim = Simulator()
+        network = topo.build(sim, uniform_factory("fifo"))
+        size = 1000.0
+        # Path: src0 -> r0 -> r1 -> dst0, three links all at 10 Mbps, no
+        # propagation delay.
+        expected = 3 * transmission_delay(size, mbps(10))
+        assert network.tmin(size, "src0", "dst0") == pytest.approx(expected)
+
+    def test_tmin_single_node_path_is_zero(self):
+        topo = linear_topology(num_routers=2, bandwidth_bps=mbps(10))
+        network = topo.build(Simulator(), uniform_factory("fifo"))
+        assert network.tmin_along(1000.0, ["r0"]) == 0.0
+
+    def test_bottleneck_transmission_time_uses_slowest_link(self):
+        topo = linear_topology(
+            num_routers=2, bandwidth_bps=mbps(1), access_bandwidth_bps=mbps(100)
+        )
+        network = topo.build(Simulator(), uniform_factory("fifo"))
+        assert network.bottleneck_transmission_time(1460) == pytest.approx(
+            transmission_delay(1460, mbps(1))
+        )
+
+    def test_tmin_remaining_honours_source_route(self):
+        topo = linear_topology(num_routers=3, bandwidth_bps=mbps(10))
+        network = topo.build(Simulator(), uniform_factory("fifo"))
+        from repro.sim.packet import Packet
+
+        packet = Packet(
+            flow_id=1,
+            src="src0",
+            dst="dst0",
+            size_bytes=1000,
+            route=["src0", "r0", "r1", "r2", "dst0"],
+        )
+        remaining = network.tmin_remaining(packet, "r1")
+        expected = network.tmin_along(1000, ["r1", "r2", "dst0"])
+        assert remaining == pytest.approx(expected)

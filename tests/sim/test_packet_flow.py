@@ -1,0 +1,81 @@
+"""Tests for the packet and flow models."""
+
+import pytest
+
+from repro.sim.flow import Flow
+from repro.sim.packet import HopRecord, Packet, PacketHeader, PacketType
+
+
+class TestPacket:
+    def test_packet_ids_are_unique_and_increasing(self):
+        first = Packet(flow_id=1, src="a", dst="b", size_bytes=100)
+        second = Packet(flow_id=1, src="a", dst="b", size_bytes=100)
+        assert second.packet_id > first.packet_id
+
+    def test_hop_records_accumulate_queueing_delay(self):
+        packet = Packet(flow_id=1, src="a", dst="b", size_bytes=100)
+        hop = packet.record_arrival("r1", 1.0)
+        hop.start_service_time = 1.5
+        hop.departure_time = 1.6
+        hop2 = packet.record_arrival("r2", 2.0)
+        hop2.start_service_time = 2.0
+        assert packet.total_queueing_delay == pytest.approx(0.5)
+        assert packet.path_taken == ["r1", "r2"]
+
+    def test_end_to_end_delay_requires_both_timestamps(self):
+        packet = Packet(flow_id=1, src="a", dst="b", size_bytes=100)
+        assert packet.end_to_end_delay is None
+        packet.ingress_time = 1.0
+        packet.egress_time = 3.5
+        assert packet.end_to_end_delay == pytest.approx(2.5)
+
+    def test_ack_flag(self):
+        data = Packet(flow_id=1, src="a", dst="b", size_bytes=100)
+        ack = Packet(flow_id=1, src="b", dst="a", size_bytes=40, ptype=PacketType.ACK)
+        assert not data.is_ack
+        assert ack.is_ack
+
+    def test_header_copy_is_independent(self):
+        from collections import deque
+
+        header = PacketHeader(slack=1.0, hop_output_times=deque([1.0, 2.0]))
+        copy = header.copy()
+        copy.slack = 9.0
+        copy.hop_output_times.popleft()
+        assert header.slack == 1.0
+        assert list(header.hop_output_times) == [1.0, 2.0]
+
+    def test_hop_record_queueing_delay_without_service(self):
+        hop = HopRecord(node="r1", arrival_time=2.0)
+        assert hop.queueing_delay == 0.0
+
+
+class TestFlow:
+    def test_num_packets_rounds_up(self):
+        assert Flow(src="a", dst="b", size_bytes=1460, start_time=0).num_packets == 1
+        assert Flow(src="a", dst="b", size_bytes=1461, start_time=0).num_packets == 2
+        assert Flow(src="a", dst="b", size_bytes=14600, start_time=0).num_packets == 10
+
+    def test_packet_sizes_sum_to_flow_size(self):
+        flow = Flow(src="a", dst="b", size_bytes=5000, start_time=0)
+        sizes = flow.packet_sizes()
+        assert sum(sizes) == pytest.approx(5000)
+        assert all(size <= flow.mss for size in sizes)
+        assert len(sizes) == flow.num_packets
+
+    def test_zero_size_flow_has_no_packets(self):
+        flow = Flow(src="a", dst="b", size_bytes=0, start_time=0)
+        assert flow.num_packets == 0
+        assert flow.packet_sizes() == []
+
+    def test_fct_requires_completion(self):
+        flow = Flow(src="a", dst="b", size_bytes=1000, start_time=1.0)
+        assert flow.fct is None
+        assert not flow.completed
+        flow.completion_time = 3.0
+        assert flow.completed
+        assert flow.fct == pytest.approx(2.0)
+
+    def test_flow_ids_are_unique(self):
+        flows = [Flow(src="a", dst="b", size_bytes=1, start_time=0) for _ in range(5)]
+        assert len({flow.flow_id for flow in flows}) == 5

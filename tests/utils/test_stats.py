@@ -1,0 +1,105 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.stats import (
+    OnlineStats,
+    ccdf_points,
+    cdf_points,
+    jain_fairness_index,
+    percentile,
+    weighted_mean,
+)
+
+
+class TestOnlineStats:
+    def test_mean_and_variance_match_direct_computation(self):
+        values = [1.0, 2.0, 2.0, 5.0, 10.0]
+        stats = OnlineStats()
+        stats.extend(values)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert stats.mean == pytest.approx(mean)
+        assert stats.variance == pytest.approx(variance)
+        assert stats.stddev == pytest.approx(math.sqrt(variance))
+
+    def test_min_max_tracked(self):
+        stats = OnlineStats()
+        stats.extend([3.0, -1.0, 7.0])
+        assert stats.minimum == -1.0
+        assert stats.maximum == 7.0
+
+    def test_empty_stats_are_zero(self):
+        stats = OnlineStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_merge_equals_combined_stream(self):
+        left, right, combined = OnlineStats(), OnlineStats(), OnlineStats()
+        a = [1.0, 4.0, 9.0]
+        b = [2.0, 2.0, 8.0, 16.0]
+        left.extend(a)
+        right.extend(b)
+        combined.extend(a + b)
+        merged = left.merge(right)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+
+
+class TestJainIndex:
+    def test_equal_allocation_is_one(self):
+        assert jain_fairness_index([5.0] * 10) == pytest.approx(1.0)
+
+    def test_single_user_hogging_gives_one_over_n(self):
+        allocations = [0.0] * 9 + [100.0]
+        assert jain_fairness_index(allocations) == pytest.approx(0.1)
+
+    def test_empty_or_zero_allocations(self):
+        assert jain_fairness_index([]) == 0.0
+        assert jain_fairness_index([0.0, 0.0]) == 0.0
+
+    def test_index_is_scale_invariant(self):
+        allocations = [1.0, 2.0, 3.0, 4.0]
+        assert jain_fairness_index(allocations) == pytest.approx(
+            jain_fairness_index([10 * a for a in allocations])
+        )
+
+
+class TestPercentileAndMeans:
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 3.0]) == pytest.approx(2.5)
+
+    def test_weighted_mean_validates_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+
+class TestCdf:
+    def test_cdf_points_are_monotone_and_end_at_one(self):
+        xs, cdf = cdf_points([3.0, 1.0, 2.0, 2.0])
+        assert xs == sorted(xs)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+
+    def test_ccdf_is_complement(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        xs, cdf = cdf_points(values)
+        xs2, ccdf = ccdf_points(values)
+        assert xs == xs2
+        for c, cc in zip(cdf, ccdf):
+            assert c + cc == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        assert cdf_points([]) == ([], [])
