@@ -9,13 +9,16 @@ LSTF variant converge to (near) 1.0 once all flows are active, FIFO converges
 much more slowly, and LSTF's convergence barely depends on how conservative
 the ``rest`` estimate is.
 
-Run with::
+Each (scheduler, rest) pair is an independent pipeline cell, so the whole
+figure fans out across worker processes.  Run with::
 
-    python examples/fairness_convergence.py
+    python examples/fairness_convergence.py --workers 4
 """
 
+import argparse
+
 from repro.experiments import ExperimentScale
-from repro.experiments.figure4 import run_figure4
+from repro.pipeline import run_pipeline
 
 
 def sparkline(values, width: int = 40) -> str:
@@ -29,13 +32,23 @@ def sparkline(values, width: int = 40) -> str:
 
 
 def main() -> None:
-    result = run_figure4(ExperimentScale.quick())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default: serial)"
+    )
+    args = parser.parse_args()
+
+    summary = run_pipeline(
+        ["figure4"], scale=ExperimentScale.quick(), workers=args.workers
+    )
+    result = summary.results["figure4"]
     print("Jain fairness index over time (one character per bin, @ = 1.0):\n")
     for label, series in result.curves.items():  # type: ignore[attr-defined]
         final = series.final_index()
         reach = series.time_to_reach(0.9)
         reach_text = f"{reach * 1000:.0f} ms" if reach is not None else "never"
         print(f"{label:<12} |{sparkline(series.index)}| final={final:.3f}  reaches 0.9 at {reach_text}")
+    print(f"\n{summary.format()}")
     print("\nExpected shape (paper, Figure 4): FQ and every LSTF variant converge "
           "to ~1.0 shortly after all flows start; FIFO lags well behind; the "
           "rest estimate barely changes LSTF's convergence.")

@@ -10,6 +10,10 @@ like SJF while still never wasting the bottleneck.
 Run with::
 
     python examples/fct_comparison.py
+
+The same experiment runs as pipeline cells (one per scheduler) via::
+
+    python -m repro run figure2 --workers 4
 """
 
 from repro.analysis.fct import PAPER_FCT_BUCKET_EDGES, fct_by_flow_size, mean_fct

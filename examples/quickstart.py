@@ -12,6 +12,12 @@ This is the smallest end-to-end use of the library's public API:
 Run with::
 
     python examples/quickstart.py
+
+This example drives the lowest-level API directly (hand-built topology, no
+cache).  For the paper's full experiment matrix — parallel workers, the
+schedule cache, and scenario listings — use the pipeline CLI instead::
+
+    python -m repro run --all --workers 4
 """
 
 from repro.core import ReplayExperiment

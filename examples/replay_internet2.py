@@ -1,21 +1,30 @@
 #!/usr/bin/env python3
 """Replay experiment on the Internet2-like topology (one Table-1 cell).
 
-Reproduces a single cell of the paper's Table 1: pick an original scheduling
-algorithm and a network utilization, record the schedule it produces on the
-Internet2-like topology, replay it with LSTF, and report the fraction of
-overdue packets.
+Reproduces a single cell of the paper's Table 1 through the experiment
+pipeline: pick an original scheduling algorithm and a network utilization,
+record the schedule it produces on the Internet2-like topology (or fetch it
+from the content-addressed schedule cache), replay it with a candidate
+universal scheduler, and report the fraction of overdue packets.
 
 Run with::
 
     python examples/replay_internet2.py --original random --utilization 0.7
     python examples/replay_internet2.py --original sjf --replay-mode lstf-preemptive
+
+Re-running with ``--cache-dir`` skips the recording step entirely (the cell
+hits the on-disk schedule cache), and comparing several ``--replay-mode``
+values against one ``--cache-dir`` replays the *same* recorded schedule —
+the paper's "record once, replay many" methodology.  The equivalent CLI is::
+
+    python -m repro run table1 --workers 4
 """
 
 import argparse
 
 from repro.experiments import ExperimentScale
-from repro.experiments.table1 import default_scenario, run_scenario
+from repro.experiments.table1 import default_scenario, scenario_row
+from repro.pipeline import ScheduleCache, replay_scenario
 
 
 def main() -> None:
@@ -38,6 +47,11 @@ def main() -> None:
         action="store_true",
         help="use the paper's full topology and bandwidths (slow!)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk schedule cache; reuse it to record once and replay many times",
+    )
     args = parser.parse_args()
 
     scale = ExperimentScale.paper() if args.paper_scale else ExperimentScale.quick()
@@ -52,7 +66,11 @@ def main() -> None:
         f"utilization={args.utilization:.0%}, replay mode={args.replay_mode} "
         f"({scale.label} scale)"
     )
-    row = run_scenario(scenario)
+    cache = ScheduleCache(args.cache_dir)
+    result = replay_scenario(scenario, mode=args.replay_mode, cache=cache)
+    row = scenario_row(scenario, args.replay_mode, result)
+    source = "cache" if cache.hits else "fresh recording"
+    print(f"  original schedule           : {source}")
     print(f"  packets recorded            : {row['packets']}")
     print(f"  fraction overdue            : {row['fraction_overdue']:.4f}")
     print(f"  fraction overdue by more T  : {row['fraction_overdue_beyond_T']:.4f}")

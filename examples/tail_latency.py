@@ -9,6 +9,10 @@ nearly identical mean delay, visibly smaller 99th-percentile delay for LSTF.
 Run with::
 
     python examples/tail_latency.py
+
+The same experiment runs as pipeline cells (one per scheduler) via::
+
+    python -m repro run figure3 --workers 2
 """
 
 from repro.analysis.delay import delay_statistics

@@ -16,7 +16,11 @@ The package provides:
   evaluation substrates (Internet2 / RocketFuel / fat-tree topologies,
   heavy-tailed Poisson workloads, UDP and simplified TCP);
 * :mod:`repro.analysis` and :mod:`repro.experiments` — metrics and one
-  runnable experiment per table/figure in the paper's evaluation.
+  runnable experiment per table/figure in the paper's evaluation;
+* :mod:`repro.pipeline` — the parallel experiment pipeline: declarative
+  scenarios, a content-addressed schedule cache (record once, replay many),
+  an experiment registry, and a process-pool runner, all exposed through the
+  ``python -m repro`` CLI.
 
 Quickstart::
 

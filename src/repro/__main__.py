@@ -1,0 +1,317 @@
+"""``python -m repro`` — the experiment pipeline CLI.
+
+Subcommands:
+
+* ``run`` — run experiments (all or by name), optionally fanned out across
+  worker processes, with the on-disk schedule cache enabled by default::
+
+      python -m repro run --all --workers 4
+      python -m repro run table1 figure2 --scale smoke --json
+
+* ``list`` — show every registered experiment and its cells at a scale::
+
+      python -m repro list --scale quick
+
+* ``record`` — record one scenario's original schedule to a file (the file
+  carries the topology spec, so it is self-contained)::
+
+      python -m repro record I2-1G-10G@70 --out schedule.jsonl.gz
+
+* ``replay`` — replay a recorded schedule file under a candidate universal
+  scheduler and print the Table-1 metrics::
+
+      python -m repro replay schedule.jsonl.gz --mode lstf
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+#: Default directory for the on-disk schedule cache.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _scale(name: str):
+    from repro.experiments.config import ExperimentScale
+
+    presets = {
+        "quick": ExperimentScale.quick,
+        "smoke": ExperimentScale.smoke,
+        "paper": ExperimentScale.paper,
+    }
+    return presets[name]()
+
+
+def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "smoke", "paper"),
+        default="quick",
+        help="scale preset (default: quick; paper takes hours)",
+    )
+
+
+def _replay_scenarios(scale) -> dict:
+    """All named replay scenarios across registered experiments."""
+    from repro.pipeline.experiment import default_registry
+
+    scenarios = {}
+    for definition in default_registry():
+        lister = getattr(definition, "scenarios", None)
+        if lister is None:
+            continue
+        for scenario in lister(scale):
+            scenarios.setdefault(scenario.name, scenario)
+    return scenarios
+
+
+# ---------------------------------------------------------------------- #
+# run
+# ---------------------------------------------------------------------- #
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import format_result, results_to_json
+    from repro.pipeline.experiment import default_registry
+    from repro.pipeline.runner import run_pipeline
+
+    registry = default_registry()
+    if args.all or not args.experiments:
+        names = registry.names()
+    else:
+        names = args.experiments
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        summary = run_pipeline(
+            names=names,
+            scale=_scale(args.scale),
+            workers=args.workers,
+            cache_dir=cache_dir,
+            replicates=args.replicates,
+        )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = json.loads(results_to_json(summary.results))
+        payload["_summary"] = {
+            "cells": summary.cells,
+            "workers": summary.workers,
+            "wall_time": summary.wall_time,
+            "cache_hits": summary.cache_hits,
+            "cache_misses": summary.cache_misses,
+            "records_computed": summary.records_computed,
+            "notes": summary.notes,
+        }
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        for result in summary.results.values():
+            print(format_result(result))
+            print()
+        print(summary.format())
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# list
+# ---------------------------------------------------------------------- #
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.pipeline.experiment import default_registry
+
+    scale = _scale(args.scale)
+    registry = default_registry()
+    entries = []
+    for definition in registry:
+        cells = definition.cells(scale)
+        entries.append(
+            {
+                "name": definition.name,
+                "cells": len(cells),
+                "labels": sorted({cell.label for cell in cells}),
+                "modes": sorted({cell.mode for cell in cells}),
+            }
+        )
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0
+    name_width = max(len(entry["name"]) for entry in entries)
+    print(f"{len(entries)} experiment(s) at {args.scale} scale:")
+    for entry in entries:
+        print(
+            f"  {entry['name']:<{name_width}}  {entry['cells']:>3} cell(s)  "
+            f"modes: {', '.join(entry['modes'])}"
+        )
+    print("\nscenario labels (use with `record`):")
+    for name in sorted(_replay_scenarios(scale)):
+        print(f"  {name}")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# record
+# ---------------------------------------------------------------------- #
+def cmd_record(args: argparse.Namespace) -> int:
+    from repro.pipeline.cache import schedule_cache_key, workload_fingerprint
+    from repro.pipeline.experiment import record_scenario_schedule
+    from repro.sim.flow import reset_flow_ids
+    from repro.sim.packet import reset_packet_ids
+
+    scale = _scale(args.scale)
+    scenarios = _replay_scenarios(scale)
+    scenario = scenarios.get(args.scenario)
+    if scenario is None:
+        known = ", ".join(sorted(scenarios))
+        print(f"error: unknown scenario {args.scenario!r}; known: {known}", file=sys.stderr)
+        return 2
+    reset_packet_ids()
+    reset_flow_ids()
+    topology = scenario.build_topology()
+    workload = scenario.workload()
+    schedule = record_scenario_schedule(scenario, topology, workload)
+    meta = {
+        "scenario": scenario.name,
+        "original": scenario.original,
+        "seed": scenario.seed,
+        "scale": args.scale,
+        "key": schedule_cache_key(topology, scenario.original, workload, scenario.seed),
+        "workload": workload_fingerprint(workload),
+        "topology": topology.to_dict(),
+        "mss": workload.mss,
+    }
+    schedule.to_jsonl(args.out, meta=meta)
+    print(
+        f"recorded {len(schedule)} packets of scenario {scenario.name} "
+        f"({scenario.original} original) -> {args.out}"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# replay
+# ---------------------------------------------------------------------- #
+def cmd_replay(args: argparse.Namespace) -> int:
+    import gzip
+
+    from repro.core.replay import REPLAY_MODES, evaluate_replay
+    from repro.core.schedule import load_schedule
+    from repro.sim.flow import reset_flow_ids
+    from repro.sim.packet import reset_packet_ids
+    from repro.topology.base import Topology
+
+    if args.mode not in REPLAY_MODES:
+        known = ", ".join(sorted(REPLAY_MODES))
+        print(f"error: unknown replay mode {args.mode!r}; known: {known}", file=sys.stderr)
+        return 2
+    try:
+        schedule, meta = load_schedule(args.schedule)
+    except (OSError, ValueError, gzip.BadGzipFile) as error:
+        print(f"error: cannot load {args.schedule}: {error}", file=sys.stderr)
+        return 2
+    if "topology" not in meta:
+        print(
+            f"error: {args.schedule} carries no topology spec; "
+            "was it written by `python -m repro record`?",
+            file=sys.stderr,
+        )
+        return 2
+    reset_packet_ids()
+    reset_flow_ids()
+    topology = Topology.from_dict(meta["topology"])
+    result = evaluate_replay(
+        topology,
+        schedule,
+        mode=args.mode,
+        threshold_packet_bytes=float(meta.get("mss", 1460)),
+    )
+    row = {
+        "scenario": meta.get("scenario"),
+        "original": meta.get("original"),
+        "replay_mode": args.mode,
+        "packets": result.metrics.total_packets,
+        "fraction_overdue": result.overdue_fraction,
+        "fraction_overdue_beyond_T": result.overdue_beyond_threshold_fraction,
+        "threshold": result.metrics.threshold,
+    }
+    if args.json:
+        print(json.dumps(row, indent=2))
+    else:
+        print(
+            f"replayed {row['packets']} packets of {row['scenario']} with {args.mode}: "
+            f"{row['fraction_overdue']:.4%} overdue, "
+            f"{row['fraction_overdue_beyond_T']:.4%} overdue by more than "
+            f"T={row['threshold']:.3e}s"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Entry point
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Universal Packet Scheduling reproduction: experiment pipeline CLI.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run experiments (parallel, cached)")
+    run_parser.add_argument("experiments", nargs="*", help="experiment names (see `list`)")
+    run_parser.add_argument("--all", action="store_true", help="run every experiment")
+    _add_scale_argument(run_parser)
+    run_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default: 1 = serial)"
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"on-disk schedule cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk schedule cache"
+    )
+    run_parser.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        help="seed replicates per replay scenario (default: 1)",
+    )
+    run_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+    run_parser.set_defaults(func=cmd_run)
+
+    list_parser = subparsers.add_parser("list", help="list registered experiments")
+    _add_scale_argument(list_parser)
+    list_parser.add_argument("--json", action="store_true", help="emit JSON")
+    list_parser.set_defaults(func=cmd_list)
+
+    record_parser = subparsers.add_parser(
+        "record", help="record one scenario's original schedule to a file"
+    )
+    record_parser.add_argument("scenario", help="scenario label (see `list`)")
+    record_parser.add_argument(
+        "--out", default="schedule.jsonl.gz", help="output file (.gz = compressed)"
+    )
+    _add_scale_argument(record_parser)
+    record_parser.set_defaults(func=cmd_record)
+
+    replay_parser = subparsers.add_parser(
+        "replay", help="replay a recorded schedule file and print Table-1 metrics"
+    )
+    replay_parser.add_argument("schedule", help="schedule file written by `record`")
+    replay_parser.add_argument(
+        "--mode",
+        default="lstf",
+        help="replay mode: lstf, lstf-preemptive, edf, priority, omniscient",
+    )
+    replay_parser.add_argument("--json", action="store_true", help="emit JSON")
+    replay_parser.set_defaults(func=cmd_replay)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

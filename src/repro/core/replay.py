@@ -186,9 +186,7 @@ def evaluate_replay(
         topology, original, mode=mode, default_buffer_bytes=default_buffer_bytes
     )
     if threshold is None:
-        probe_sim = Simulator()
-        probe_network = topology.build(probe_sim, uniform_factory("fifo"))
-        threshold = probe_network.bottleneck_transmission_time(threshold_packet_bytes)
+        threshold = topology.bottleneck_transmission_time(threshold_packet_bytes)
     metrics = compare_schedules(original, replayed, threshold=threshold)
     return ReplayResult(mode=mode, original=original, replayed=replayed, metrics=metrics)
 

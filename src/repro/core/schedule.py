@@ -6,23 +6,39 @@ collection of scheduling algorithms over a fixed input load (Section 2.1).
 set, along with the per-hop timing detail needed for omniscient replay and for
 congestion-point analysis.
 
-Schedules come from two places:
+Schedules come from three places:
 
-* recorded from a simulation run (:meth:`Schedule.from_tracer`), or
+* recorded from a simulation run (:meth:`Schedule.from_tracer`),
 * constructed by hand (the theory counterexamples build small viable
-  schedules directly, exactly as the paper's appendix figures do).
+  schedules directly, exactly as the paper's appendix figures do), or
+* loaded from disk (:func:`load_schedule`) — the pipeline's "record once,
+  replay many" workflow persists recorded schedules as gzipped JSON-lines
+  so replays (possibly in other processes) never re-record.
+
+The on-disk format (``repro-schedule/1``) is one JSON object per line: a
+header carrying free-form metadata (the pipeline stores the topology spec and
+the cache key there) followed by one line per :class:`PacketRecord`.  The
+round-trip is lossless: floats are serialized with full ``repr`` precision,
+so a loaded schedule replays bit-identically to the in-memory original.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.sim.packet import Packet
 from repro.sim.tracer import Tracer
 
+#: Format tag written into the header line of serialized schedules.
+SCHEDULE_FORMAT = "repro-schedule/1"
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class HopTiming:
     """Original-schedule timing of one packet at one node.
 
@@ -46,8 +62,23 @@ class HopTiming:
             return 0.0
         return self.start_service_time - self.arrival_time
 
+    def to_list(self) -> list:
+        """Compact JSON form: ``[node, arrival, start_service, departure]``."""
+        return [self.node, self.arrival_time, self.start_service_time, self.departure_time]
 
-@dataclass
+    @classmethod
+    def from_list(cls, data: Sequence) -> "HopTiming":
+        """Inverse of :meth:`to_list`."""
+        node, arrival, start, departure = data
+        return cls(
+            node=node,
+            arrival_time=arrival,
+            start_service_time=start,
+            departure_time=departure,
+        )
+
+
+@dataclass(slots=True)
 class PacketRecord:
     """One packet's entry in a schedule.
 
@@ -135,6 +166,40 @@ class PacketRecord:
             if hop.start_service_time is not None:
                 times.append(hop.start_service_time)
         return times
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serializable form of this record (lossless)."""
+        return {
+            "packet_id": self.packet_id,
+            "flow_id": self.flow_id,
+            "src": self.src,
+            "dst": self.dst,
+            "size_bytes": self.size_bytes,
+            "ingress_time": self.ingress_time,
+            "output_time": self.output_time,
+            "path": list(self.path),
+            "hops": [hop.to_list() for hop in self.hops],
+            "flow_size_bytes": self.flow_size_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PacketRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            packet_id=data["packet_id"],
+            flow_id=data["flow_id"],
+            src=data["src"],
+            dst=data["dst"],
+            size_bytes=data["size_bytes"],
+            ingress_time=data["ingress_time"],
+            output_time=data["output_time"],
+            path=list(data["path"]),
+            hops=[HopTiming.from_list(hop) for hop in data["hops"]],
+            flow_size_bytes=data.get("flow_size_bytes"),
+        )
 
 
 class Schedule:
@@ -236,5 +301,99 @@ class Schedule:
         """Sum of all packet sizes in the schedule."""
         return sum(record.size_bytes for record in self)
 
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def to_jsonl(self, path: Union[str, "os.PathLike"], meta: Optional[dict] = None) -> None:
+        """Write this schedule to ``path`` as (optionally gzipped) JSON-lines.
+
+        Paths ending in ``.gz`` are gzip-compressed.  ``meta`` is stored in
+        the header line and returned by :func:`load_schedule`; the pipeline
+        uses it to carry the topology spec and cache-key provenance.
+        """
+        save_schedule(path, self, meta=meta)
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, "os.PathLike"]) -> "Schedule":
+        """Load a schedule previously written by :meth:`to_jsonl`."""
+        schedule, _ = load_schedule(path)
+        return schedule
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"<Schedule packets={len(self)}>"
+
+
+# ---------------------------------------------------------------------- #
+# On-disk JSON-lines format
+# ---------------------------------------------------------------------- #
+def _open_for_write(path: str, compressed: bool) -> io.TextIOBase:
+    if compressed:
+        return gzip.open(path, "wt", encoding="utf-8", compresslevel=5)
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_for_read(path: str) -> io.TextIOBase:
+    if path.endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def save_schedule(
+    path: Union[str, "os.PathLike"],
+    schedule: Schedule,
+    meta: Optional[dict] = None,
+) -> None:
+    """Serialize ``schedule`` to ``path`` (gzipped when the name ends in ``.gz``).
+
+    The write is atomic (temp file + ``os.replace``) so concurrent pipeline
+    workers racing to populate the same cache entry cannot leave a truncated
+    file behind.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    header = {
+        "format": SCHEDULE_FORMAT,
+        "packets": len(schedule),
+        "meta": meta or {},
+    }
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with _open_for_write(tmp_path, compressed=path.endswith(".gz")) as stream:
+            stream.write(json.dumps(header) + "\n")
+            for record in schedule.records():
+                stream.write(json.dumps(record.to_dict()) + "\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def load_schedule(path: Union[str, "os.PathLike"]) -> Tuple[Schedule, dict]:
+    """Load a schedule written by :func:`save_schedule`.
+
+    Returns:
+        ``(schedule, meta)`` where ``meta`` is the free-form metadata stored
+        in the file's header line.
+    """
+    path = os.fspath(path)
+    with _open_for_read(path) as stream:
+        header_line = stream.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty schedule file")
+        header = json.loads(header_line)
+        if header.get("format") != SCHEDULE_FORMAT:
+            raise ValueError(
+                f"{path}: not a {SCHEDULE_FORMAT} file (format={header.get('format')!r})"
+            )
+        schedule = Schedule()
+        for line in stream:
+            if line.strip():
+                schedule.add(PacketRecord.from_dict(json.loads(line)))
+    if len(schedule) != header.get("packets", len(schedule)):
+        raise ValueError(
+            f"{path}: header promises {header.get('packets')} packets, "
+            f"found {len(schedule)} (truncated file?)"
+        )
+    return schedule, header.get("meta", {})

@@ -1,4 +1,9 @@
-"""Experiment harness: one module per table/figure in the paper's evaluation."""
+"""Experiment harness: one module per table/figure in the paper's evaluation.
+
+Importing this package registers every experiment definition with the
+pipeline's :data:`~repro.pipeline.experiment.REGISTRY`, so
+``python -m repro list`` and the parallel runner see all paper artifacts.
+"""
 
 from repro.experiments.ablations import (
     run_edf_equivalence,
@@ -19,6 +24,7 @@ from repro.experiments.runner import (
     format_result,
     results_to_json,
     run_all,
+    run_all_summary,
 )
 from repro.experiments.table1 import (
     ReplayScenario,
@@ -52,6 +58,7 @@ __all__ = [
     "run_omniscient_ablation",
     "EXPERIMENTS",
     "run_all",
+    "run_all_summary",
     "format_result",
     "results_to_json",
 ]

@@ -9,15 +9,136 @@
   schedule); this ablation reruns a replay under both and compares.
 * **Omniscient initialization** (Appendix B): with per-hop output times in
   the header the replay must be perfect.
+
+Each ablation is a pipeline experiment whose cells are (scenario x replay
+mode); the modes replay the *same* recorded schedule, shared through the
+content-addressed schedule cache even across pool workers.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.replay import ReplayExperiment
 from repro.experiments.config import ExperimentResult, ExperimentScale
 from repro.experiments.table1 import default_scenario
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.experiment import (
+    Cell,
+    CellResult,
+    ExperimentDef,
+    register_experiment,
+    replay_scenario,
+)
+from repro.pipeline.runner import run_experiment
+from repro.pipeline.scenario import Scenario, expand_replicates
+
+
+class ModeComparisonDefinition(ExperimentDef):
+    """Base for ablations that replay the same schedules under several modes."""
+
+    #: Replay modes compared, in row order.
+    modes: Tuple[str, ...] = ()
+    #: Row columns (beyond scenario identity) pulled from the replay metrics.
+    columns: Tuple[str, ...] = ("fraction_overdue", "fraction_overdue_beyond_T")
+    #: Seed replicates per scenario (see :func:`expand_replicates`).
+    replicates: int = 1
+
+    def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
+        raise NotImplementedError
+
+    def with_replicates(self, replicates: int) -> "ModeComparisonDefinition":
+        import copy
+
+        clone = copy.copy(self)
+        clone.replicates = replicates
+        return clone
+
+    def cells(self, scale: ExperimentScale) -> List[Cell]:
+        return [
+            Cell(self.name, scenario.name, mode, scenario.seed, spec=scenario)
+            for scenario in expand_replicates(self.scenarios(scale), self.replicates)
+            for mode in self.modes
+        ]
+
+    def run_cell(
+        self, cell: Cell, scale: ExperimentScale, cache: ScheduleCache
+    ) -> CellResult:
+        scenario: Scenario = cell.spec
+        result = replay_scenario(scenario, mode=cell.mode, cache=cache)
+        row: Dict[str, object] = self.identity_columns(scenario, cell.mode)
+        row["packets"] = result.metrics.total_packets
+        if "fraction_overdue" in self.columns:
+            row["fraction_overdue"] = result.overdue_fraction
+        if "fraction_overdue_beyond_T" in self.columns:
+            row["fraction_overdue_beyond_T"] = result.overdue_beyond_threshold_fraction
+        if "mean_lateness" in self.columns:
+            row["mean_lateness"] = result.metrics.mean_lateness
+        return CellResult(cell=cell, row=row)
+
+    def identity_columns(self, scenario: Scenario, mode: str) -> Dict[str, object]:
+        """Leading row columns identifying the cell.
+
+        The scenario name only appears when seed replicates are in play —
+        it carries the ``#rN`` suffix that tells the replicate rows apart —
+        so single-replicate runs keep the paper tables' compact row shape.
+        """
+        if self.replicates > 1:
+            return {"scenario": scenario.name, "replay_mode": mode}
+        return {"replay_mode": mode}
+
+
+class PreemptionAblationDefinition(ModeComparisonDefinition):
+    """Non-preemptive versus preemptive LSTF replay for skew-heavy originals."""
+
+    name = "ablation-preemption"
+    notes = (
+        "Paper: preemption reduces the overdue fraction for SJF originals "
+        "from 18.33% to 0.24% and for LIFO from 14.77% to 0.25%."
+    )
+    modes = ("lstf", "lstf-preemptive")
+
+    def __init__(self, originals: Sequence[str] = ("sjf", "lifo")) -> None:
+        self.originals = tuple(originals)
+
+    def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
+        return [
+            default_scenario(scale, original=original, name=f"I2-{original}")
+            for original in self.originals
+        ]
+
+    def identity_columns(self, scenario: Scenario, mode: str) -> Dict[str, object]:
+        columns = super().identity_columns(scenario, mode)
+        return {"original": scenario.original, **columns}
+
+
+class EdfEquivalenceDefinition(ModeComparisonDefinition):
+    """LSTF versus network-wide EDF replay of the same original schedule."""
+
+    name = "ablation-edf"
+    result_name = "ablation-edf-equivalence"
+    notes = "Appendix E: EDF and LSTF produce the same replay schedule."
+    modes = ("lstf", "edf")
+    columns = ("fraction_overdue", "mean_lateness")
+
+    def __init__(self, original: str = "random") -> None:
+        self.original = original
+
+    def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
+        return [default_scenario(scale, original=self.original)]
+
+
+class OmniscientAblationDefinition(ModeComparisonDefinition):
+    """Omniscient (per-hop) initialization versus black-box LSTF replay."""
+
+    name = "ablation-omniscient"
+    notes = "Appendix B: omniscient initialization replays any viable schedule perfectly."
+    modes = ("omniscient", "lstf")
+
+    def __init__(self, original: str = "random") -> None:
+        self.original = original
+
+    def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
+        return [default_scenario(scale, original=self.original)]
 
 
 def run_preemption_ablation(
@@ -25,30 +146,7 @@ def run_preemption_ablation(
     originals: Sequence[str] = ("sjf", "lifo"),
 ) -> ExperimentResult:
     """Non-preemptive versus preemptive LSTF replay for skew-heavy originals."""
-    scale = scale or ExperimentScale.quick()
-    result = ExperimentResult(
-        name="ablation-preemption",
-        scale_label=scale.label,
-        notes=(
-            "Paper: preemption reduces the overdue fraction for SJF originals "
-            "from 18.33% to 0.24% and for LIFO from 14.77% to 0.25%."
-        ),
-    )
-    for original in originals:
-        scenario = default_scenario(scale, original=original, name=f"I2-{original}")
-        experiment = ReplayExperiment(
-            scenario.topology_builder(), scenario.original, scenario.workload(), seed=scenario.seed
-        )
-        for mode in ("lstf", "lstf-preemptive"):
-            replay = experiment.replay(mode=mode)
-            result.add_row(
-                original=original,
-                replay_mode=mode,
-                packets=replay.metrics.total_packets,
-                fraction_overdue=replay.overdue_fraction,
-                fraction_overdue_beyond_T=replay.overdue_beyond_threshold_fraction,
-            )
-    return result
+    return run_experiment(PreemptionAblationDefinition(originals=originals), scale)
 
 
 def run_edf_equivalence(
@@ -56,25 +154,7 @@ def run_edf_equivalence(
     original: str = "random",
 ) -> ExperimentResult:
     """LSTF versus network-wide EDF replay of the same original schedule."""
-    scale = scale or ExperimentScale.quick()
-    scenario = default_scenario(scale, original=original)
-    experiment = ReplayExperiment(
-        scenario.topology_builder(), scenario.original, scenario.workload(), seed=scenario.seed
-    )
-    result = ExperimentResult(
-        name="ablation-edf-equivalence",
-        scale_label=scale.label,
-        notes="Appendix E: EDF and LSTF produce the same replay schedule.",
-    )
-    for mode in ("lstf", "edf"):
-        replay = experiment.replay(mode=mode)
-        result.add_row(
-            replay_mode=mode,
-            packets=replay.metrics.total_packets,
-            fraction_overdue=replay.overdue_fraction,
-            mean_lateness=replay.metrics.mean_lateness,
-        )
-    return result
+    return run_experiment(EdfEquivalenceDefinition(original=original), scale)
 
 
 def run_omniscient_ablation(
@@ -82,22 +162,9 @@ def run_omniscient_ablation(
     original: str = "random",
 ) -> ExperimentResult:
     """Omniscient (per-hop) initialization versus black-box LSTF replay."""
-    scale = scale or ExperimentScale.quick()
-    scenario = default_scenario(scale, original=original)
-    experiment = ReplayExperiment(
-        scenario.topology_builder(), scenario.original, scenario.workload(), seed=scenario.seed
-    )
-    result = ExperimentResult(
-        name="ablation-omniscient",
-        scale_label=scale.label,
-        notes="Appendix B: omniscient initialization replays any viable schedule perfectly.",
-    )
-    for mode in ("omniscient", "lstf"):
-        replay = experiment.replay(mode=mode)
-        result.add_row(
-            replay_mode=mode,
-            packets=replay.metrics.total_packets,
-            fraction_overdue=replay.overdue_fraction,
-            fraction_overdue_beyond_T=replay.overdue_beyond_threshold_fraction,
-        )
-    return result
+    return run_experiment(OmniscientAblationDefinition(original=original), scale)
+
+
+register_experiment(PreemptionAblationDefinition())
+register_experiment(EdfEquivalenceDefinition())
+register_experiment(OmniscientAblationDefinition())

@@ -8,70 +8,115 @@ utilization, the figure plots the CDF over packets of
 The paper's headline observation is that most packets see *less* queueing in
 the replay (ratio below 1), because LSTF never makes a packet wait behind one
 that has plenty of slack left ("wasted waiting").
+
+Each original scheduler is one pipeline cell; the recorded schedules are
+shared (via the content-addressed cache) with the Table-1 rows that replay
+the same scenarios.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.replay import ReplayExperiment
 from repro.experiments.config import ExperimentResult, ExperimentScale
 from repro.experiments.table1 import default_scenario
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.experiment import (
+    Cell,
+    CellResult,
+    ExperimentDef,
+    register_experiment,
+    replay_scenario,
+)
+from repro.pipeline.runner import run_experiment
 from repro.utils.stats import cdf_points, percentile
+
+#: Original schedulers compared in Figure 1.
+FIGURE1_SCHEDULERS: Tuple[str, ...] = ("random", "fifo", "fq", "sjf", "lifo", "fq+fifo+")
 
 
 def queueing_delay_ratio_cdf(
     scale: ExperimentScale,
     original: str,
     utilization: float = 0.7,
+    cache: Optional[ScheduleCache] = None,
 ) -> Tuple[List[float], List[float]]:
     """The (x, CDF) curve for one original scheduler."""
     scenario = default_scenario(scale, utilization=utilization, original=original)
-    experiment = ReplayExperiment(
-        scenario.topology_builder(), scenario.original, scenario.workload(), seed=scenario.seed
-    )
-    result = experiment.replay(mode="lstf")
+    result = replay_scenario(scenario, mode="lstf", cache=cache)
     return cdf_points(result.metrics.queueing_delay_ratios)
 
 
-def run_figure1(
-    scale: Optional[ExperimentScale] = None,
-    schedulers: Sequence[str] = ("random", "fifo", "fq", "sjf", "lifo", "fq+fifo+"),
-) -> ExperimentResult:
-    """Queueing-delay-ratio distributions for each original scheduler.
+class Figure1Definition(ExperimentDef):
+    """One cell per original scheduler; each returns its row and CDF curve."""
 
-    Each row summarizes one curve: the median and 90th-percentile ratio plus
-    the fraction of packets whose replay queueing delay is no larger than the
-    original (the mass at or below ratio 1.0).
-    """
-    scale = scale or ExperimentScale.quick()
-    result = ExperimentResult(
-        name="figure1",
-        scale_label=scale.label,
-        notes=(
-            "Paper (Figure 1): for every original scheduler the bulk of the "
-            "CDF lies at or below ratio 1.0 — most packets see no more "
-            "queueing in the LSTF replay than in the original schedule."
-        ),
+    name = "figure1"
+    notes = (
+        "Paper (Figure 1): for every original scheduler the bulk of the "
+        "CDF lies at or below ratio 1.0 — most packets see no more "
+        "queueing in the LSTF replay than in the original schedule."
     )
-    curves: Dict[str, Tuple[List[float], List[float]]] = {}
-    for scheduler in schedulers:
-        xs, cdf = queueing_delay_ratio_cdf(scale, scheduler)
-        curves[scheduler] = (xs, cdf)
+
+    def __init__(
+        self,
+        schedulers: Sequence[str] = FIGURE1_SCHEDULERS,
+        utilization: float = 0.7,
+    ) -> None:
+        self.schedulers = tuple(schedulers)
+        self.utilization = utilization
+
+    def cells(self, scale: ExperimentScale) -> List[Cell]:
+        cells: List[Cell] = []
+        for scheduler in self.schedulers:
+            scenario = default_scenario(
+                scale, utilization=self.utilization, original=scheduler
+            )
+            cells.append(Cell(self.name, scheduler, "lstf", scenario.seed, spec=scenario))
+        return cells
+
+    def run_cell(
+        self, cell: Cell, scale: ExperimentScale, cache: ScheduleCache
+    ) -> CellResult:
+        result = replay_scenario(cell.spec, mode=cell.mode, cache=cache)
+        xs, cdf = cdf_points(result.metrics.queueing_delay_ratios)
         if xs:
             at_most_one = sum(1 for value in xs if value <= 1.0 + 1e-9) / len(xs)
             median = percentile(xs, 50)
             p90 = percentile(xs, 90)
         else:
             at_most_one, median, p90 = 0.0, 0.0, 0.0
-        result.add_row(
-            original=scheduler,
-            packets=len(xs),
-            median_ratio=median,
-            p90_ratio=p90,
-            fraction_at_most_1=at_most_one,
+        return CellResult(
+            cell=cell,
+            row={
+                "original": cell.label,
+                "packets": len(xs),
+                "median_ratio": median,
+                "p90_ratio": p90,
+                "fraction_at_most_1": at_most_one,
+            },
+            curve=(xs, cdf),
+            curve_key=cell.label,
         )
-    # Keep the full curves available to callers that want to plot them.
-    result.rows.sort(key=lambda row: row["original"])
-    result.curves = curves  # type: ignore[attr-defined]
-    return result
+
+    def assemble(self, scale, results):
+        merged = super().assemble(scale, results)
+        # Rows sorted by original-scheduler name, matching the paper's legend.
+        merged.rows.sort(key=lambda row: row["original"])
+        return merged
+
+
+def run_figure1(
+    scale: Optional[ExperimentScale] = None,
+    schedulers: Sequence[str] = FIGURE1_SCHEDULERS,
+) -> ExperimentResult:
+    """Queueing-delay-ratio distributions for each original scheduler.
+
+    Each row summarizes one curve: the median and 90th-percentile ratio plus
+    the fraction of packets whose replay queueing delay is no larger than the
+    original (the mass at or below ratio 1.0).  The full curves stay
+    available as ``result.curves``.
+    """
+    return run_experiment(Figure1Definition(schedulers=schedulers), scale)
+
+
+register_experiment(Figure1Definition())

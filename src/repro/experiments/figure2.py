@@ -11,6 +11,10 @@ TCP flows with heavy-tailed sizes run over the default Internet2 topology at
 The paper's result: SJF and SRPT dramatically beat FIFO on mean FCT and LSTF
 matches SJF almost exactly.  We reproduce that ordering (FIFO worst, LSTF
 within a few percent of SJF/SRPT).
+
+Each scheduler is one pipeline cell (a direct closed-loop simulation — no
+schedule recording, so the schedule cache is unused here); the cells are
+independent and run in parallel under the pipeline runner.
 """
 
 from __future__ import annotations
@@ -20,6 +24,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.fct import PAPER_FCT_BUCKET_EDGES, fct_by_flow_size, mean_fct
 from repro.core.slack import FlowSizeSlackPolicy
 from repro.experiments.config import ExperimentResult, ExperimentScale
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.experiment import Cell, CellResult, ExperimentDef, register_experiment
+from repro.pipeline.runner import run_experiment
 from repro.schedulers.factory import uniform_factory
 from repro.sim.flow import Flow
 from repro.sim.simulation import Simulation
@@ -84,35 +91,58 @@ def run_fct_scenario(
     return result.flows
 
 
+class Figure2Definition(ExperimentDef):
+    """Mean-FCT comparison: one direct-simulation cell per scheduler."""
+
+    name = "figure2"
+    notes = (
+        "Paper (Figure 2): mean FCT FIFO 0.288s, SRPT 0.208s, SJF 0.194s, "
+        "LSTF 0.195s — SJF/SRPT/LSTF clearly beat FIFO and LSTF tracks SJF."
+    )
+
+    def __init__(
+        self,
+        schedulers: Sequence[str] = ("fifo", "srpt", "sjf", "lstf"),
+        utilization: float = 0.7,
+    ) -> None:
+        self.schedulers = tuple(schedulers)
+        self.utilization = utilization
+
+    def cells(self, scale: ExperimentScale) -> List[Cell]:
+        return [
+            Cell(self.name, scheduler, scheduler, scale.seed)
+            for scheduler in self.schedulers
+        ]
+
+    def run_cell(
+        self, cell: Cell, scale: ExperimentScale, cache: ScheduleCache
+    ) -> CellResult:
+        flows = run_fct_scenario(scale, cell.label, utilization=self.utilization)
+        completed = [flow for flow in flows if flow.completed]
+        overall = mean_fct(completed)
+        buckets = fct_by_flow_size(completed, PAPER_FCT_BUCKET_EDGES)
+        return CellResult(
+            cell=cell,
+            row={
+                "scheduler": cell.label,
+                "flows": len(flows),
+                "completed": len(completed),
+                "mean_fct": overall if overall is not None else float("nan"),
+                "small_flow_mean_fct": _bucket_mean(buckets, max_bytes=10220),
+                "large_flow_mean_fct": _bucket_mean(buckets, min_bytes=105120),
+            },
+        )
+
+
 def run_figure2(
     scale: Optional[ExperimentScale] = None,
     schedulers: Sequence[str] = ("fifo", "srpt", "sjf", "lstf"),
     utilization: float = 0.7,
 ) -> ExperimentResult:
     """Mean FCT (overall and bucketed by flow size) for each scheduler."""
-    scale = scale or ExperimentScale.quick()
-    result = ExperimentResult(
-        name="figure2",
-        scale_label=scale.label,
-        notes=(
-            "Paper (Figure 2): mean FCT FIFO 0.288s, SRPT 0.208s, SJF 0.194s, "
-            "LSTF 0.195s — SJF/SRPT/LSTF clearly beat FIFO and LSTF tracks SJF."
-        ),
+    return run_experiment(
+        Figure2Definition(schedulers=schedulers, utilization=utilization), scale
     )
-    for scheduler in schedulers:
-        flows = run_fct_scenario(scale, scheduler, utilization=utilization)
-        completed = [flow for flow in flows if flow.completed]
-        overall = mean_fct(completed)
-        buckets = fct_by_flow_size(completed, PAPER_FCT_BUCKET_EDGES)
-        result.add_row(
-            scheduler=scheduler,
-            flows=len(flows),
-            completed=len(completed),
-            mean_fct=overall if overall is not None else float("nan"),
-            small_flow_mean_fct=_bucket_mean(buckets, max_bytes=10220),
-            large_flow_mean_fct=_bucket_mean(buckets, min_bytes=105120),
-        )
-    return result
 
 
 def _bucket_mean(buckets, min_bytes: float = 0.0, max_bytes: float = float("inf")) -> float:
@@ -124,3 +154,6 @@ def _bucket_mean(buckets, min_bytes: float = 0.0, max_bytes: float = float("inf"
             total += bucket.mean_fct * bucket.count
             count += bucket.count
     return total / count if count else 0.0
+
+
+register_experiment(Figure2Definition())

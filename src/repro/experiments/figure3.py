@@ -6,15 +6,20 @@ FIFO+ (packets that have already waited longer upstream get precedence).
 The paper reports essentially equal mean delay but a visibly smaller 99th
 percentile for LSTF/FIFO+ than for FIFO; the reproduced harness reports the
 same two numbers plus the CCDF curves.
+
+Each scheduler is one direct-simulation pipeline cell.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.delay import delay_ccdf, delay_statistics
 from repro.core.slack import ConstantSlackPolicy
 from repro.experiments.config import ExperimentResult, ExperimentScale
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.experiment import Cell, CellResult, ExperimentDef, register_experiment
+from repro.pipeline.runner import run_experiment
 from repro.schedulers.factory import uniform_factory
 from repro.sim.packet import Packet
 from repro.sim.simulation import Simulation
@@ -60,34 +65,59 @@ def run_delay_scenario(
     return result.delivered_packets
 
 
+class Figure3Definition(ExperimentDef):
+    """Tail-delay comparison: one direct-simulation cell per scheduler."""
+
+    name = "figure3"
+    notes = (
+        "Paper (Figure 3): FIFO mean 0.0780s / 99%ile 0.2142s versus LSTF "
+        "mean 0.0786s / 99%ile 0.1958s — similar means, smaller tail for "
+        "LSTF (= FIFO+)."
+    )
+
+    def __init__(
+        self,
+        schedulers: Sequence[str] = ("fifo", "lstf"),
+        utilization: float = 0.7,
+    ) -> None:
+        self.schedulers = tuple(schedulers)
+        self.utilization = utilization
+
+    def cells(self, scale: ExperimentScale) -> List[Cell]:
+        return [
+            Cell(self.name, scheduler, scheduler, scale.seed)
+            for scheduler in self.schedulers
+        ]
+
+    def run_cell(
+        self, cell: Cell, scale: ExperimentScale, cache: ScheduleCache
+    ) -> CellResult:
+        packets = run_delay_scenario(scale, cell.label, utilization=self.utilization)
+        stats = delay_statistics(packets)
+        return CellResult(
+            cell=cell,
+            row={
+                "scheduler": cell.label,
+                "packets": stats.count,
+                "mean_delay": stats.mean,
+                "p99_delay": stats.p99,
+                "p999_delay": stats.p999,
+                "max_delay": stats.maximum,
+            },
+            curve=delay_ccdf(packets),
+            curve_key=cell.label,
+        )
+
+
 def run_figure3(
     scale: Optional[ExperimentScale] = None,
     schedulers: Sequence[str] = ("fifo", "lstf"),
     utilization: float = 0.7,
 ) -> ExperimentResult:
     """Mean and tail packet-delay comparison (plus CCDF curves)."""
-    scale = scale or ExperimentScale.quick()
-    result = ExperimentResult(
-        name="figure3",
-        scale_label=scale.label,
-        notes=(
-            "Paper (Figure 3): FIFO mean 0.0780s / 99%ile 0.2142s versus LSTF "
-            "mean 0.0786s / 99%ile 0.1958s — similar means, smaller tail for "
-            "LSTF (= FIFO+)."
-        ),
+    return run_experiment(
+        Figure3Definition(schedulers=schedulers, utilization=utilization), scale
     )
-    curves: Dict[str, Tuple[List[float], List[float]]] = {}
-    for scheduler in schedulers:
-        packets = run_delay_scenario(scale, scheduler, utilization=utilization)
-        stats = delay_statistics(packets)
-        curves[scheduler] = delay_ccdf(packets)
-        result.add_row(
-            scheduler=scheduler,
-            packets=stats.count,
-            mean_delay=stats.mean,
-            p99_delay=stats.p99,
-            p999_delay=stats.p999,
-            max_delay=stats.maximum,
-        )
-    result.curves = curves  # type: ignore[attr-defined]
-    return result
+
+
+register_experiment(Figure3Definition())

@@ -13,15 +13,20 @@ full flow set) is tracked over time for:
 The paper's claim — reproduced here — is that LSTF converges to (near) the
 fair allocation for every ``rest`` at or below the fair share, converging a
 little sooner when ``rest`` is closer to the true rate.
+
+Every (scheduler, rest estimate) pair is one direct-simulation pipeline cell.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.fairness import FairnessTimeseries, fairness_timeseries
 from repro.core.slack import FairnessSlackPolicy
 from repro.experiments.config import ExperimentResult, ExperimentScale
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.experiment import Cell, CellResult, ExperimentDef, register_experiment
+from repro.pipeline.runner import run_experiment
 from repro.schedulers.factory import uniform_factory
 from repro.sim.flow import Flow
 from repro.sim.simulation import Simulation
@@ -140,6 +145,76 @@ def run_fairness_scenario(
     )
 
 
+class Figure4Definition(ExperimentDef):
+    """Fairness convergence: one cell per (scheduler, rest estimate) pair."""
+
+    name = "figure4"
+    notes = (
+        "Paper (Figure 4): FQ reaches Jain index 1.0 once all flows have "
+        "started; LSTF converges to (near) 1.0 for every rest <= the fair "
+        "share, slightly sooner for larger rest; FIFO stays noticeably "
+        "below the fair allocation."
+    )
+
+    def __init__(
+        self,
+        rest_fractions: Sequence[float] = (1.0, 0.5, 0.1, 0.01),
+        num_flows: int = 12,
+        duration: float = 0.5,
+    ) -> None:
+        self.rest_fractions = tuple(rest_fractions)
+        self.num_flows = num_flows
+        self.duration = duration
+
+    def _variants(self) -> List[Tuple[str, Optional[float]]]:
+        variants: List[Tuple[str, Optional[float]]] = [("fifo", None), ("fq", None)]
+        variants.extend(
+            (f"lstf@{fraction:g}x", fraction) for fraction in self.rest_fractions
+        )
+        return variants
+
+    def cells(self, scale: ExperimentScale) -> List[Cell]:
+        return [
+            Cell(self.name, label, label, scale.seed, spec=fraction)
+            for label, fraction in self._variants()
+        ]
+
+    def run_cell(
+        self, cell: Cell, scale: ExperimentScale, cache: ScheduleCache
+    ) -> CellResult:
+        scale = fairness_scale(scale)
+        fraction: Optional[float] = cell.spec
+        if fraction is None:
+            scheduler, rest_bps = cell.label, None
+        else:
+            # All flows share one core bottleneck (the slowest core link on
+            # the seattle -> newyork path, 2.4 Gbps nominal), so the true fair
+            # share is that bandwidth divided by the number of flows; the rest
+            # fractions are taken relative to it, mirroring the paper's
+            # rest <= r* sweep.
+            scheduler = "lstf"
+            fair_share_bps = scale.scaled_bandwidth(2.4) / max(1, self.num_flows)
+            rest_bps = fair_share_bps * fraction
+        timeseries = run_fairness_scenario(
+            scale,
+            scheduler,
+            rest_bps=rest_bps,
+            num_flows=self.num_flows,
+            duration=self.duration,
+        )
+        return CellResult(
+            cell=cell,
+            row={
+                "scheduler": cell.label,
+                "rest_fraction": fraction,
+                "final_fairness": timeseries.final_index(),
+                "time_to_90pct": timeseries.time_to_reach(0.9),
+            },
+            curve=timeseries,
+            curve_key=cell.label,
+        )
+
+
 def run_figure4(
     scale: Optional[ExperimentScale] = None,
     rest_fractions: Sequence[float] = (1.0, 0.5, 0.1, 0.01),
@@ -147,51 +222,12 @@ def run_figure4(
     duration: float = 0.5,
 ) -> ExperimentResult:
     """Fairness convergence of FIFO, FQ, and LSTF at several ``rest`` values."""
-    scale = fairness_scale(scale or ExperimentScale.quick())
-    # All flows share one core bottleneck (the slowest core link on the
-    # seattle -> newyork path, 2.4 Gbps nominal), so the true fair share is
-    # that bandwidth divided by the number of flows; the rest fractions are
-    # taken relative to it, mirroring the paper's rest <= r* sweep.
-    fair_share_bps = scale.scaled_bandwidth(2.4) / max(1, num_flows)
-    result = ExperimentResult(
-        name="figure4",
-        scale_label=scale.label,
-        notes=(
-            "Paper (Figure 4): FQ reaches Jain index 1.0 once all flows have "
-            "started; LSTF converges to (near) 1.0 for every rest <= the fair "
-            "share, slightly sooner for larger rest; FIFO stays noticeably "
-            "below the fair allocation."
+    return run_experiment(
+        Figure4Definition(
+            rest_fractions=rest_fractions, num_flows=num_flows, duration=duration
         ),
+        scale,
     )
-    series: Dict[str, FairnessTimeseries] = {}
 
-    for scheduler in ("fifo", "fq"):
-        timeseries = run_fairness_scenario(
-            scale, scheduler, num_flows=num_flows, duration=duration
-        )
-        series[scheduler] = timeseries
-        result.add_row(
-            scheduler=scheduler,
-            rest_fraction=None,
-            final_fairness=timeseries.final_index(),
-            time_to_90pct=timeseries.time_to_reach(0.9),
-        )
 
-    for fraction in rest_fractions:
-        timeseries = run_fairness_scenario(
-            scale,
-            "lstf",
-            rest_bps=fair_share_bps * fraction,
-            num_flows=num_flows,
-            duration=duration,
-        )
-        label = f"lstf@{fraction:g}x"
-        series[label] = timeseries
-        result.add_row(
-            scheduler=label,
-            rest_fraction=fraction,
-            final_fairness=timeseries.final_index(),
-            time_to_90pct=timeseries.time_to_reach(0.9),
-        )
-    result.curves = series  # type: ignore[attr-defined]
-    return result
+register_experiment(Figure4Definition())

@@ -1,8 +1,10 @@
 """Running and formatting experiments.
 
 The :func:`run_all` helper executes every table/figure experiment under one
-scale preset; :func:`format_result` renders a result as a plain-text table of
-the same shape as the corresponding table or figure legend in the paper.
+scale preset — serially or fanned out across worker processes via the
+experiment pipeline — and :func:`format_result` renders a result as a
+plain-text table of the same shape as the corresponding table or figure
+legend in the paper.
 """
 
 from __future__ import annotations
@@ -21,9 +23,13 @@ from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.table1 import run_priority_comparison, run_table1
+from repro.pipeline.runner import RunSummary, run_pipeline
 
 #: Registry of every experiment in the harness, keyed by the paper artifact
-#: it reproduces.
+#: it reproduces.  Kept for backwards compatibility and for callers that want
+#: plain callables; the authoritative registry is
+#: :data:`repro.pipeline.experiment.REGISTRY`, which maps the same names to
+#: the parallelizable experiment definitions.
 EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentScale]], ExperimentResult]] = {
     "table1": run_table1,
     "table1-priority": run_priority_comparison,
@@ -71,17 +77,36 @@ def _format_cell(value, float_digits: int) -> str:
 def run_all(
     scale: Optional[ExperimentScale] = None,
     names: Optional[List[str]] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, ExperimentResult]:
-    """Run every (or a subset of) experiment(s) and return their results."""
-    scale = scale or ExperimentScale.quick()
+    """Run every (or a subset of) experiment(s) and return their results.
+
+    With ``workers > 1`` the experiments' cells are fanned out across a
+    process pool; the merged results are row-for-row identical to a serial
+    run.  ``cache_dir`` enables the shared on-disk schedule cache.
+    """
+    return run_all_summary(
+        scale=scale, names=names, workers=workers, cache_dir=cache_dir
+    ).results
+
+
+def run_all_summary(
+    scale: Optional[ExperimentScale] = None,
+    names: Optional[List[str]] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    replicates: int = 1,
+) -> RunSummary:
+    """Like :func:`run_all` but returns the full pipeline :class:`RunSummary`."""
     selected = names if names is not None else list(EXPERIMENTS)
-    results: Dict[str, ExperimentResult] = {}
-    for name in selected:
-        if name not in EXPERIMENTS:
-            known = ", ".join(sorted(EXPERIMENTS))
-            raise KeyError(f"unknown experiment {name!r}; known: {known}")
-        results[name] = EXPERIMENTS[name](scale)
-    return results
+    return run_pipeline(
+        names=selected,
+        scale=scale or ExperimentScale.quick(),
+        workers=workers,
+        cache_dir=cache_dir,
+        replicates=replicates,
+    )
 
 
 def results_to_json(results: Dict[str, ExperimentResult]) -> str:
@@ -98,7 +123,11 @@ def results_to_json(results: Dict[str, ExperimentResult]) -> str:
 
 
 def main() -> None:  # pragma: no cover - convenience CLI
-    """Run the full harness at quick scale and print every table."""
+    """Run the full harness at quick scale and print every table.
+
+    Prefer ``python -m repro run --all`` (see :mod:`repro.__main__`), which
+    adds worker fan-out, the schedule cache, and scale selection.
+    """
     results = run_all(ExperimentScale.quick())
     for result in results.values():
         print(format_result(result))

@@ -11,52 +11,39 @@ bottleneck link).  The paper's row groups are:
 5. alternative original schedulers (FIFO, FQ, SJF, LIFO, FQ+FIFO+),
 
 plus the Section 2.3(7) comparison against simple-priority replay.
+
+The rows are *scenario definitions* on the experiment pipeline: every row is
+a declarative :class:`~repro.pipeline.scenario.Scenario` (the utilization row
+group is a :class:`~repro.pipeline.scenario.Sweep`), expanded into
+independent cells that the parallel runner can fan out, with every original
+schedule recorded once through the content-addressed schedule cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.replay import ReplayExperiment, ReplayResult
 from repro.experiments.config import ExperimentResult, ExperimentScale
-from repro.topology.base import Topology
-from repro.traffic.distributions import paper_default_workload
-from repro.traffic.workload import WorkloadSpec
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.experiment import (
+    Cell,
+    CellResult,
+    ExperimentDef,
+    ReplayResult,
+    register_experiment,
+    replay_scenario,
+)
+from repro.pipeline.runner import run_experiment
+from repro.pipeline.scenario import Scenario, Sweep, expand_replicates
 
-
-@dataclass
-class ReplayScenario:
-    """One Table-1 row: a topology, a load level, and an original scheduler."""
-
-    name: str
-    topology_builder: Callable[[], Topology]
-    utilization: float
-    original: str
-    reference_bandwidth_bps: float
-    duration: float
-    seed: int = 1
-    replay_mode: str = "lstf"
-
-    def workload(self) -> WorkloadSpec:
-        """The UDP workload for this scenario."""
-        return WorkloadSpec(
-            utilization=self.utilization,
-            reference_bandwidth_bps=self.reference_bandwidth_bps,
-            size_distribution=paper_default_workload(),
-            transport="udp",
-            duration=self.duration,
-        )
-
-    def run(self) -> ReplayResult:
-        """Record the original schedule and replay it with the scenario's mode."""
-        experiment = ReplayExperiment(
-            self.topology_builder(),
-            self.original,
-            self.workload(),
-            seed=self.seed,
-        )
-        return experiment.replay(mode=self.replay_mode)
+#: Table-1 rows are now declarative pipeline scenarios rather than closures
+#: over live topology builders.  This alias keeps the ``ReplayScenario`` name
+#: importable (annotations, isinstance checks, and rows built through
+#: :func:`default_scenario`/:func:`table1_scenarios` keep working), but the
+#: constructor signature changed: ``topology_builder``/``duration``/
+#: ``reference_bandwidth_bps``/``seed`` gave way to declarative fields —
+#: construct :class:`~repro.pipeline.scenario.Scenario` directly instead.
+ReplayScenario = Scenario
 
 
 def default_scenario(
@@ -67,18 +54,25 @@ def default_scenario(
     name: Optional[str] = None,
     edge_core_gbps: float = 1.0,
     host_edge_gbps: float = 10.0,
-) -> ReplayScenario:
+) -> Scenario:
     """The paper's default Internet2 scenario with the given tweaks."""
-    return ReplayScenario(
+    return Scenario(
         name=name or f"I2-{edge_core_gbps:g}G-{host_edge_gbps:g}G",
-        topology_builder=lambda: scale.internet2(edge_core_gbps, host_edge_gbps),
+        scale=scale,
+        topology="internet2",
+        topology_args=(
+            ("edge_core_gbps", edge_core_gbps),
+            ("host_edge_gbps", host_edge_gbps),
+        ),
         utilization=utilization,
         original=original,
-        reference_bandwidth_bps=scale.scaled_bandwidth(edge_core_gbps),
-        duration=scale.duration,
-        seed=scale.seed,
+        reference_gbps=edge_core_gbps,
         replay_mode=replay_mode,
     )
+
+
+def _utilization_row_name(base: Scenario, value) -> str:
+    return f"{base.name}@{int(value * 100)}"
 
 
 def table1_scenarios(
@@ -86,23 +80,20 @@ def table1_scenarios(
     utilizations: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
     schedulers: Sequence[str] = ("fifo", "fq", "sjf", "lifo", "fq+fifo+"),
     include_topology_rows: bool = True,
-) -> List[ReplayScenario]:
+) -> List[Scenario]:
     """All Table-1 scenarios under a given scale preset."""
-    scenarios: List[ReplayScenario] = []
+    scenarios: List[Scenario] = []
 
     # Row group 1 + 2: the default topology across utilizations (70% first,
     # matching the paper's presentation of the default scenario).
     scenarios.append(default_scenario(scale, utilization=0.7, name="I2-1G-10G@70"))
-    for utilization in utilizations:
-        if abs(utilization - 0.7) < 1e-9:
-            continue
-        scenarios.append(
-            default_scenario(
-                scale,
-                utilization=utilization,
-                name=f"I2-1G-10G@{int(utilization * 100)}",
-            )
-        )
+    sweep = Sweep(
+        base=default_scenario(scale),
+        parameter="utilization",
+        values=tuple(u for u in utilizations if abs(u - 0.7) >= 1e-9),
+        namer=_utilization_row_name,
+    )
+    scenarios.extend(sweep)
 
     # Row group 3: access/edge bandwidth variants.
     scenarios.append(
@@ -115,47 +106,43 @@ def table1_scenarios(
     # Row group 4: other topologies.
     if include_topology_rows:
         scenarios.append(
-            ReplayScenario(
+            Scenario(
                 name="RocketFuel",
-                topology_builder=scale.rocketfuel,
+                scale=scale,
+                topology="rocketfuel",
                 utilization=0.7,
                 original="random",
-                reference_bandwidth_bps=scale.scaled_bandwidth(1.0),
-                duration=scale.duration,
-                seed=scale.seed,
+                reference_gbps=1.0,
             )
         )
         scenarios.append(
-            ReplayScenario(
+            Scenario(
                 name="Datacenter",
-                topology_builder=scale.fattree,
+                scale=scale,
+                topology="fattree",
                 utilization=0.7,
                 original="random",
-                reference_bandwidth_bps=scale.scaled_bandwidth(10.0),
-                duration=scale.duration / 2,
-                seed=scale.seed,
+                reference_gbps=10.0,
+                duration_scale=0.5,
             )
         )
 
     # Row group 5: original schedulers other than Random on the default topology.
     for scheduler in schedulers:
         scenarios.append(
-            default_scenario(
-                scale, original=scheduler, name=f"I2-1G-10G-{scheduler}"
-            )
+            default_scenario(scale, original=scheduler, name=f"I2-1G-10G-{scheduler}")
         )
     return scenarios
 
 
-def run_scenario(scenario: ReplayScenario) -> Dict[str, object]:
-    """Run one scenario and return its Table-1 row as a dictionary."""
-    result = scenario.run()
+def scenario_row(scenario: Scenario, mode: str, result: ReplayResult) -> Dict[str, object]:
+    """One scenario's replay outcome as a Table-1 row dictionary."""
     return {
         "scenario": scenario.name,
         "topology": scenario.name.split("@")[0],
         "utilization": scenario.utilization,
         "original": scenario.original,
-        "replay_mode": scenario.replay_mode,
+        "replay_mode": mode,
         "packets": result.metrics.total_packets,
         "fraction_overdue": result.overdue_fraction,
         "fraction_overdue_beyond_T": result.overdue_beyond_threshold_fraction,
@@ -163,52 +150,114 @@ def run_scenario(scenario: ReplayScenario) -> Dict[str, object]:
     }
 
 
+def run_scenario(
+    scenario: Scenario, cache: Optional[ScheduleCache] = None
+) -> Dict[str, object]:
+    """Run one scenario and return its Table-1 row as a dictionary."""
+    result = replay_scenario(scenario, cache=cache)
+    return scenario_row(scenario, scenario.replay_mode, result)
+
+
+class Table1Definition(ExperimentDef):
+    """The full Table-1 sweep as one cell per scenario (x seed replicate)."""
+
+    name = "table1"
+    notes = (
+        "Paper (Table 1): default scenario 0.21% overdue / 0.02% >T; SJF and "
+        "LIFO originals are the hardest to replay; fractions overdue by >T "
+        "stay below ~1% in almost every scenario."
+    )
+
+    def __init__(
+        self,
+        scenarios: Optional[Tuple[Scenario, ...]] = None,
+        replicates: int = 1,
+    ) -> None:
+        self._scenarios = scenarios
+        self.replicates = replicates
+
+    def with_replicates(self, replicates: int) -> "Table1Definition":
+        return Table1Definition(self._scenarios, replicates)
+
+    def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
+        base = (
+            list(self._scenarios)
+            if self._scenarios is not None
+            else table1_scenarios(scale)
+        )
+        return expand_replicates(base, self.replicates)
+
+    def cells(self, scale: ExperimentScale) -> List[Cell]:
+        return [
+            Cell(self.name, scenario.name, scenario.replay_mode, scenario.seed, spec=scenario)
+            for scenario in self.scenarios(scale)
+        ]
+
+    def run_cell(
+        self, cell: Cell, scale: ExperimentScale, cache: ScheduleCache
+    ) -> CellResult:
+        scenario: Scenario = cell.spec
+        result = replay_scenario(scenario, mode=cell.mode, cache=cache)
+        return CellResult(cell=cell, row=scenario_row(scenario, cell.mode, result))
+
+
+class PriorityComparisonDefinition(ExperimentDef):
+    """Section 2.3 item (7): LSTF replay versus simple-priority replay.
+
+    Both cells replay the *same* recorded schedule — the schedule cache
+    guarantees it is recorded once even when the cells land on different
+    workers.
+    """
+
+    name = "table1-priority"
+    result_name = "priority-comparison"
+    notes = (
+        "Paper: with priorities 21% of packets are overdue (20.69% by more "
+        "than T) versus 0.21% (0.02%) with LSTF on the default scenario."
+    )
+    modes: Tuple[str, ...] = ("lstf", "priority")
+
+    def cells(self, scale: ExperimentScale) -> List[Cell]:
+        scenario = default_scenario(scale, name="I2-1G-10G@70")
+        return [
+            Cell(self.name, scenario.name, mode, scenario.seed, spec=scenario)
+            for mode in self.modes
+        ]
+
+    def run_cell(
+        self, cell: Cell, scale: ExperimentScale, cache: ScheduleCache
+    ) -> CellResult:
+        scenario: Scenario = cell.spec
+        result = replay_scenario(scenario, mode=cell.mode, cache=cache)
+        return CellResult(
+            cell=cell,
+            row={
+                "scenario": scenario.name,
+                "replay_mode": cell.mode,
+                "packets": result.metrics.total_packets,
+                "fraction_overdue": result.overdue_fraction,
+                "fraction_overdue_beyond_T": result.overdue_beyond_threshold_fraction,
+            },
+        )
+
+
 def run_table1(
     scale: Optional[ExperimentScale] = None,
-    scenarios: Optional[Sequence[ReplayScenario]] = None,
+    scenarios: Optional[Sequence[Scenario]] = None,
 ) -> ExperimentResult:
-    """Run all Table-1 scenarios and collect the rows."""
-    scale = scale or ExperimentScale.quick()
-    scenarios = list(scenarios) if scenarios is not None else table1_scenarios(scale)
-    result = ExperimentResult(
-        name="table1",
-        scale_label=scale.label,
-        notes=(
-            "Paper (Table 1): default scenario 0.21% overdue / 0.02% >T; SJF and "
-            "LIFO originals are the hardest to replay; fractions overdue by >T "
-            "stay below ~1% in almost every scenario."
-        ),
+    """Run all Table-1 scenarios (serially) and collect the rows."""
+    definition = Table1Definition(
+        scenarios=tuple(scenarios) if scenarios is not None else None
     )
-    for scenario in scenarios:
-        result.rows.append(run_scenario(scenario))
-    return result
+    return run_experiment(definition, scale)
 
 
 def run_priority_comparison(
     scale: Optional[ExperimentScale] = None,
 ) -> ExperimentResult:
     """Section 2.3 item (7): LSTF replay versus simple-priority replay."""
-    scale = scale or ExperimentScale.quick()
-    result = ExperimentResult(
-        name="priority-comparison",
-        scale_label=scale.label,
-        notes=(
-            "Paper: with priorities 21% of packets are overdue (20.69% by more "
-            "than T) versus 0.21% (0.02%) with LSTF on the default scenario."
-        ),
-    )
-    # Record once, replay twice, so the two rows target the same schedule.
-    base = default_scenario(scale, name="I2-1G-10G@70")
-    experiment = ReplayExperiment(
-        base.topology_builder(), base.original, base.workload(), seed=base.seed
-    )
-    for mode in ("lstf", "priority"):
-        replay = experiment.replay(mode=mode)
-        result.add_row(
-            scenario=base.name,
-            replay_mode=mode,
-            packets=replay.metrics.total_packets,
-            fraction_overdue=replay.overdue_fraction,
-            fraction_overdue_beyond_T=replay.overdue_beyond_threshold_fraction,
-        )
-    return result
+    return run_experiment(PriorityComparisonDefinition(), scale)
+
+
+register_experiment(Table1Definition())
+register_experiment(PriorityComparisonDefinition())

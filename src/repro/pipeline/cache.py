@@ -1,0 +1,198 @@
+"""Content-addressed schedule cache: record once, replay everywhere.
+
+The paper's methodology is "record a schedule once, replay it with many
+candidate universal schedulers".  The cache below makes that literal across
+process and invocation boundaries: a recorded :class:`Schedule` is stored
+under a key derived from everything that determines it — the topology spec,
+the original scheduler, the workload fingerprint, and the seed — so any cell
+of any experiment that needs the same original schedule gets the cached copy
+instead of re-running the recording simulation.
+
+Two layers:
+
+* an in-memory dict (always on), so replay modes sharing a schedule within
+  one process never touch disk;
+* an optional on-disk layer (gzipped JSON-lines via
+  :func:`repro.core.schedule.save_schedule`), shared between pool workers and
+  across CLI invocations.  Writes are atomic, so workers racing to populate
+  the same entry at worst duplicate the recording work — they can never
+  corrupt an entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.core.schedule import Schedule, load_schedule, save_schedule
+from repro.topology.base import Topology
+from repro.traffic.workload import WorkloadSpec
+
+
+def distribution_fingerprint(distribution) -> dict:
+    """A JSON-serializable fingerprint of a flow-size distribution."""
+    params = {}
+    for name in sorted(vars(distribution)):
+        value = vars(distribution)[name]
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            params[name] = value
+        elif isinstance(value, (list, tuple)):
+            params[name] = list(value)
+        else:  # pragma: no cover - future distribution types
+            params[name] = repr(value)
+    return {"kind": type(distribution).__name__, "params": params}
+
+
+def workload_fingerprint(workload: WorkloadSpec) -> dict:
+    """A JSON-serializable fingerprint of everything that shapes a workload."""
+    return {
+        "utilization": workload.utilization,
+        "reference_bandwidth_bps": workload.reference_bandwidth_bps,
+        "transport": workload.transport,
+        "duration": workload.duration,
+        "mss": workload.mss,
+        "size_distribution": distribution_fingerprint(workload.size_distribution),
+    }
+
+
+def schedule_cache_key(
+    topology: Topology,
+    original: str,
+    workload: WorkloadSpec,
+    seed: int,
+) -> str:
+    """Content hash of (topology, original scheduler, workload, seed)."""
+    payload = {
+        "topology": topology.to_dict(),
+        "original": str(original),
+        "workload": workload_fingerprint(workload),
+        "seed": seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+class ScheduleCache:
+    """Two-layer (memory + optional disk) cache of recorded schedules.
+
+    Args:
+        root: Directory for the on-disk layer, or ``None`` for a purely
+            in-memory (per-process) cache.
+        memory_entries: Maximum schedules kept in the in-memory layer (LRU
+            eviction beyond that).  Paper-scale schedules hold every packet's
+            hop vector, so an unbounded memory layer would retain gigabytes
+            across a full run; the default comfortably covers cells that
+            share one schedule across replay modes.  ``None`` = unbounded.
+
+    Attributes:
+        hits: Number of ``get_or_record`` calls served from memory or disk.
+        misses: Number of calls that had to record (i.e. run the original
+            simulation).  A warm cache reports ``misses == 0``.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, os.PathLike]] = None,
+        memory_entries: Optional[int] = 8,
+    ) -> None:
+        self.root = Path(root) if root is not None else None
+        self.memory_entries = memory_entries
+        self._memory: "OrderedDict[str, Schedule]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _remember(self, key: str, schedule: Schedule) -> None:
+        self._memory[key] = schedule
+        self._memory.move_to_end(key)
+        if self.memory_entries is not None:
+            while len(self._memory) > self.memory_entries:
+                self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # Key / path helpers
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> Optional[Path]:
+        """On-disk location for ``key`` (``None`` for memory-only caches)."""
+        if self.root is None:
+            return None
+        return self.root / key[:2] / f"{key}.jsonl.gz"
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        path = self.path_for(key)
+        return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ------------------------------------------------------------------ #
+    # The cache protocol
+    # ------------------------------------------------------------------ #
+    def get_or_record(
+        self,
+        topology: Topology,
+        original: str,
+        workload: WorkloadSpec,
+        seed: int,
+        recorder: Callable[[], Schedule],
+    ) -> Tuple[Schedule, str]:
+        """Fetch the schedule for this cell, recording it on first use.
+
+        Args:
+            topology: Topology spec (part of the key and stored as metadata).
+            original: Original scheduler name.
+            workload: Workload spec (fingerprinted into the key).
+            seed: Workload seed.
+            recorder: Zero-argument callable that records and returns the
+                schedule; only invoked on a cache miss.
+
+        Returns:
+            ``(schedule, key)``.
+        """
+        key = schedule_cache_key(topology, original, workload, seed)
+        schedule = self._memory.get(key)
+        if schedule is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return schedule, key
+        path = self.path_for(key)
+        if path is not None and path.exists():
+            schedule, _ = load_schedule(path)
+            self._remember(key, schedule)
+            self.hits += 1
+            return schedule, key
+        schedule = recorder()
+        self.misses += 1
+        self._remember(key, schedule)
+        if path is not None:
+            meta = {
+                "key": key,
+                "original": str(original),
+                "seed": seed,
+                "workload": workload_fingerprint(workload),
+                "topology": topology.to_dict(),
+            }
+            save_schedule(path, schedule, meta=meta)
+        return schedule, key
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters (misses == original schedules recorded)."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    def disk_entries(self) -> int:
+        """Number of schedule files currently in the on-disk layer."""
+        if self.root is None or not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.jsonl.gz"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        where = str(self.root) if self.root is not None else "memory"
+        return f"<ScheduleCache {where} hits={self.hits} misses={self.misses}>"

@@ -1,0 +1,230 @@
+"""Experiment definitions, cells, and the scenario registry.
+
+An :class:`ExperimentDef` describes one paper artifact (a table, a figure, an
+ablation) as three hooks:
+
+* :meth:`~ExperimentDef.cells` — expand the experiment into independent
+  :class:`Cell` work units (scenario x seed x replay-mode).  Cells are plain
+  picklable data, so the runner can fan them out across processes.
+* :meth:`~ExperimentDef.run_cell` — execute one cell (possibly inside a pool
+  worker) and return its result row (plus optional plot data).
+* :meth:`~ExperimentDef.assemble` — merge the cell results, in cell order,
+  into the experiment's :class:`ExperimentResult`.
+
+The global :data:`REGISTRY` maps experiment names (``"table1"``,
+``"figure2"``, ...) to their definitions; the definitions themselves live in
+:mod:`repro.experiments`, which registers them at import time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.core.replay import (
+    ReplayResult,
+    evaluate_replay,
+    original_scheduler_factory,
+    record_schedule,
+)
+from repro.core.schedule import Schedule
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.scenario import Scenario
+from repro.utils.rng import RandomState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments -> pipeline)
+    from repro.experiments.config import ExperimentResult, ExperimentScale
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of experiment work.
+
+    Attributes:
+        experiment: Registry name of the owning experiment.
+        label: Scenario/row label (used for display and curve keys).
+        mode: Replay mode or scheduler variant the cell evaluates.
+        seed: Fully resolved seed for the cell's stochastic inputs.
+        spec: Experiment-specific picklable payload (usually a
+            :class:`~repro.pipeline.scenario.Scenario`).
+    """
+
+    experiment: str
+    label: str
+    mode: str
+    seed: int
+    spec: Any = None
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-readable identifier for logs and progress output."""
+        return f"{self.experiment}/{self.label}/{self.mode}/s{self.seed}"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: a result row plus bookkeeping.
+
+    ``cache_hits``/``cache_misses`` record how many schedule-cache lookups
+    the cell made so the runner can report aggregate cache behaviour.
+    """
+
+    cell: Cell
+    row: Dict[str, Any]
+    curve: Any = None
+    curve_key: Optional[str] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class ExperimentDef(ABC):
+    """One paper artifact, decomposed into parallelizable cells."""
+
+    #: Registry name (also the default ExperimentResult name).
+    name: str = ""
+    #: Name recorded on the assembled ExperimentResult (defaults to ``name``).
+    result_name: Optional[str] = None
+    #: Free-form remarks copied onto the assembled result.
+    notes: str = ""
+
+    @abstractmethod
+    def cells(self, scale: "ExperimentScale") -> List[Cell]:
+        """Expand this experiment into independent cells, in row order."""
+
+    @abstractmethod
+    def run_cell(
+        self, cell: Cell, scale: "ExperimentScale", cache: ScheduleCache
+    ) -> CellResult:
+        """Execute one cell.  May run inside a process-pool worker."""
+
+    def assemble(
+        self, scale: "ExperimentScale", results: List[CellResult]
+    ) -> "ExperimentResult":
+        """Merge cell results (already in cell order) into one result."""
+        from repro.experiments.config import ExperimentResult
+
+        merged = ExperimentResult(
+            name=self.result_name or self.name,
+            scale_label=scale.label,
+            notes=self.notes,
+        )
+        curves: Dict[str, Any] = {}
+        for cell_result in results:
+            merged.rows.append(cell_result.row)
+            if cell_result.curve is not None:
+                curves[cell_result.curve_key or cell_result.cell.label] = cell_result.curve
+        if curves:
+            merged.curves = curves  # type: ignore[attr-defined]
+        return merged
+
+
+# ---------------------------------------------------------------------- #
+# Shared record/replay cell logic
+# ---------------------------------------------------------------------- #
+def record_scenario_schedule(
+    scenario: Scenario,
+    topology=None,
+    workload=None,
+) -> Schedule:
+    """Record the original schedule for ``scenario`` (no cache involved)."""
+    topology = topology if topology is not None else scenario.build_topology()
+    workload = workload if workload is not None else scenario.workload()
+    factory = original_scheduler_factory(
+        scenario.original, topology, rng=RandomState(scenario.seed + 1)
+    )
+    return record_schedule(topology, factory, workload, seed=scenario.seed)
+
+
+def replay_scenario(
+    scenario: Scenario,
+    mode: Optional[str] = None,
+    cache: Optional[ScheduleCache] = None,
+) -> ReplayResult:
+    """Record (or fetch from cache) ``scenario``'s schedule and replay it.
+
+    This is the workhorse every replay-style experiment cell goes through:
+    the original schedule comes from the content-addressed cache, so cells
+    sharing a scenario (e.g. the same schedule replayed under LSTF and under
+    simple priorities) record it only once.
+    """
+    cache = cache if cache is not None else ScheduleCache()
+    topology = scenario.build_topology()
+    workload = scenario.workload()
+    schedule, _ = cache.get_or_record(
+        topology=topology,
+        original=scenario.original,
+        workload=workload,
+        seed=scenario.seed,
+        recorder=lambda: record_scenario_schedule(scenario, topology, workload),
+    )
+    return evaluate_replay(
+        topology,
+        schedule,
+        mode=mode or scenario.replay_mode,
+        threshold_packet_bytes=float(workload.mss),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+class ScenarioRegistry:
+    """Maps experiment names to their definitions, in registration order."""
+
+    def __init__(self) -> None:
+        self._definitions: Dict[str, ExperimentDef] = {}
+
+    def register(self, definition: ExperimentDef) -> ExperimentDef:
+        """Add (or replace) a definition; returns it for decorator-style use."""
+        if not definition.name:
+            raise ValueError("experiment definitions need a non-empty name")
+        self._definitions[definition.name] = definition
+        return definition
+
+    def get(self, name: str) -> ExperimentDef:
+        """The definition for ``name`` (KeyError listing known names if absent)."""
+        try:
+            return self._definitions[name]
+        except KeyError:
+            known = ", ".join(sorted(self._definitions))
+            raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+
+    def names(self) -> List[str]:
+        """All registered experiment names, in registration order."""
+        return list(self._definitions)
+
+    def experiments(self) -> List[ExperimentDef]:
+        """All registered definitions, in registration order."""
+        return list(self._definitions.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._definitions
+
+    def __len__(self) -> int:
+        return len(self._definitions)
+
+    def __iter__(self):
+        return iter(self._definitions.values())
+
+
+#: The process-wide registry.  Populated by importing :mod:`repro.experiments`
+#: (directly or via :func:`default_registry`).
+REGISTRY = ScenarioRegistry()
+
+
+def register_experiment(definition: ExperimentDef) -> ExperimentDef:
+    """Register ``definition`` in the global registry."""
+    return REGISTRY.register(definition)
+
+
+def default_registry() -> ScenarioRegistry:
+    """The global registry with every built-in experiment registered.
+
+    Importing :mod:`repro.experiments` registers the paper's experiments as a
+    side effect; pool workers call this too, so a freshly spawned worker sees
+    the same registry as the driver.
+    """
+    import repro.experiments  # noqa: F401  (import populates REGISTRY)
+
+    return REGISTRY

@@ -1,0 +1,239 @@
+"""Parallel experiment runner: fan cells out, merge results deterministically.
+
+The runner expands every requested experiment into its independent cells
+(scenario x seed x replay-mode), executes them either serially in-process or
+across a ``ProcessPoolExecutor``, and assembles the per-experiment results in
+cell order.  Three properties make parallel runs row-for-row identical to
+serial ones:
+
+* every cell resets the global packet/flow id counters before it runs, so a
+  cell's simulation is bit-identical no matter which process (or how many
+  cells earlier) it executes in;
+* every cell's randomness comes from its own resolved seed — nothing is
+  drawn from a shared stream;
+* results are merged by cell index, never by completion order.
+
+Workers share the on-disk :class:`ScheduleCache` layer; within a process
+each worker also keeps the in-memory layer, so a warm cache run records
+nothing at all (``RunSummary.records_computed == 0``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.experiment import (
+    Cell,
+    CellResult,
+    ExperimentDef,
+    ScenarioRegistry,
+    default_registry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments -> pipeline)
+    from repro.experiments.config import ExperimentResult, ExperimentScale
+
+
+@dataclass
+class RunSummary:
+    """Everything a pipeline run produced, plus how it ran.
+
+    Attributes:
+        results: Per-experiment results, keyed by experiment name in the
+            order they were requested.
+        cells: Total number of cells executed.
+        workers: Worker processes used (1 = serial, in-process).
+        wall_time: End-to-end wall-clock seconds.
+        cache_hits: Schedule-cache lookups served without recording.
+        cache_misses: Original schedules that had to be recorded.
+        notes: Caveats about how the run was interpreted (e.g. experiments
+            that could not honor a ``replicates`` request).
+    """
+
+    results: Dict[str, "ExperimentResult"] = field(default_factory=dict)
+    cells: int = 0
+    workers: int = 1
+    wall_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def records_computed(self) -> int:
+        """Original-schedule recordings performed (0 on a fully warm cache)."""
+        return self.cache_misses
+
+    def format(self) -> str:
+        """One-paragraph human-readable run summary."""
+        total = self.cache_hits + self.cache_misses
+        lines = [
+            f"pipeline: {len(self.results)} experiment(s), {self.cells} cell(s), "
+            f"{self.workers} worker(s), {self.wall_time:.2f}s wall-clock",
+            f"schedule cache: {self.cache_hits}/{total} hit(s), "
+            f"{self.records_computed} schedule(s) recorded"
+            + (" (warm cache: nothing re-recorded)" if total and not self.cache_misses else ""),
+        ]
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def _execute_cell(
+    definition: ExperimentDef,
+    cell: Cell,
+    scale: ExperimentScale,
+    cache: ScheduleCache,
+) -> CellResult:
+    """Run one cell with fresh global counters and per-cell cache accounting."""
+    from repro.sim.flow import reset_flow_ids
+    from repro.sim.packet import reset_packet_ids
+
+    reset_packet_ids()
+    reset_flow_ids()
+    hits_before, misses_before = cache.hits, cache.misses
+    result = definition.run_cell(cell, scale, cache)
+    result.cache_hits = cache.hits - hits_before
+    result.cache_misses = cache.misses - misses_before
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side state (one schedule cache per pool process)
+# ---------------------------------------------------------------------- #
+_WORKER_CACHE: Optional[ScheduleCache] = None
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = ScheduleCache(cache_dir)
+
+
+def _worker_run(
+    payload: Tuple[int, ExperimentDef, Cell, "ExperimentScale"]
+) -> Tuple[int, CellResult]:
+    # The definition itself ships in the payload (definitions are plain
+    # picklable objects), so workers honor whatever registry — global or
+    # caller-supplied — the driver resolved names against, on fork and
+    # spawn platforms alike.
+    index, definition, cell, scale = payload
+    assert _WORKER_CACHE is not None
+    return index, _execute_cell(definition, cell, scale, _WORKER_CACHE)
+
+
+# ---------------------------------------------------------------------- #
+# Entry points
+# ---------------------------------------------------------------------- #
+def run_experiment(
+    definition: ExperimentDef,
+    scale: Optional[ExperimentScale] = None,
+    cache: Optional[ScheduleCache] = None,
+) -> ExperimentResult:
+    """Run one experiment definition serially and assemble its result.
+
+    The serial backbone used by the compatibility wrappers
+    (``run_table1`` and friends) and by ``workers=1`` pipeline runs.
+    """
+    from repro.experiments.config import ExperimentScale
+
+    scale = scale or ExperimentScale.quick()
+    cache = cache if cache is not None else ScheduleCache()
+    results = [
+        _execute_cell(definition, cell, scale, cache)
+        for cell in definition.cells(scale)
+    ]
+    return definition.assemble(scale, results)
+
+
+def run_pipeline(
+    names: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    registry: Optional[ScenarioRegistry] = None,
+    replicates: int = 1,
+) -> RunSummary:
+    """Run experiments, optionally fanning their cells across processes.
+
+    Args:
+        names: Experiment names to run (default: every registered one).
+        scale: Scale preset (default: quick).
+        workers: Worker processes; ``<= 1`` runs serially in-process.
+        cache_dir: On-disk schedule-cache directory shared by all workers
+            (``None`` = in-memory caches only).
+        registry: Registry to resolve names against (default: the global one).
+        replicates: Seed replicates for experiments that support them
+            (each replicate re-runs every replay scenario under a distinct,
+            deterministically derived seed).
+
+    Returns:
+        A :class:`RunSummary` with per-experiment results merged in cell
+        order — identical rows regardless of ``workers``.
+    """
+    from repro.experiments.config import ExperimentScale
+
+    start = time.perf_counter()
+    registry = registry or default_registry()
+    scale = scale or ExperimentScale.quick()
+    selected = list(names) if names is not None else registry.names()
+
+    definitions: List[ExperimentDef] = []
+    notes: List[str] = []
+    unreplicated: List[str] = []
+    for name in selected:
+        definition = registry.get(name)
+        if replicates > 1:
+            if hasattr(definition, "with_replicates"):
+                definition = definition.with_replicates(replicates)
+            else:
+                unreplicated.append(name)
+        definitions.append(definition)
+    if unreplicated:
+        notes.append(
+            f"replicates={replicates} not supported by: {', '.join(unreplicated)} "
+            "(those experiments ran single-seed)"
+        )
+
+    tasks: List[Tuple[ExperimentDef, Cell]] = []
+    spans: List[Tuple[str, int, int]] = []  # (name, first task index, count)
+    for definition in definitions:
+        cells = definition.cells(scale)
+        spans.append((definition.name, len(tasks), len(cells)))
+        tasks.extend((definition, cell) for cell in cells)
+
+    cell_results: List[Optional[CellResult]] = [None] * len(tasks)
+    if workers <= 1 or len(tasks) <= 1:
+        workers = 1
+        cache = ScheduleCache(cache_dir)
+        for index, (definition, cell) in enumerate(tasks):
+            cell_results[index] = _execute_cell(definition, cell, scale, cache)
+        cache_hits, cache_misses = cache.hits, cache.misses
+    else:
+        payloads = [
+            (index, definition, cell, scale)
+            for index, (definition, cell) in enumerate(tasks)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init, initargs=(cache_dir,)
+        ) as pool:
+            for index, result in pool.map(_worker_run, payloads):
+                cell_results[index] = result
+        cache_hits = sum(r.cache_hits for r in cell_results if r is not None)
+        cache_misses = sum(r.cache_misses for r in cell_results if r is not None)
+
+    results: Dict[str, ExperimentResult] = {}
+    for definition, (name, first, count) in zip(definitions, spans):
+        chunk = [r for r in cell_results[first : first + count] if r is not None]
+        results[name] = definition.assemble(scale, chunk)
+
+    return RunSummary(
+        results=results,
+        cells=len(tasks),
+        workers=workers,
+        wall_time=time.perf_counter() - start,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        notes=notes,
+    )

@@ -1,0 +1,215 @@
+"""Declarative scenario descriptions.
+
+A :class:`Scenario` is a frozen, picklable value object describing one
+record/replay cell: which topology to build (by :class:`ExperimentScale`
+builder name, so the scenario itself never holds live simulator objects),
+what workload to offer, which "original" scheduler records the schedule, and
+which candidate universal scheduler replays it.  Because scenarios are plain
+data they can be hashed into cache keys, shipped to pool workers, and listed
+by the CLI without running anything.
+
+:class:`Sweep` expands a base scenario along one parameter (utilization,
+original scheduler, seed, ...) into a scenario list — the building block for
+wide experiment matrices.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.topology.base import Topology
+from repro.traffic.distributions import (
+    FlowSizeDistribution,
+    data_mining_workload,
+    paper_default_workload,
+    web_search_workload,
+)
+from repro.traffic.workload import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments -> pipeline)
+    from repro.experiments.config import ExperimentScale
+
+#: Named workload (flow-size distribution) factories available to scenarios.
+#: Referencing distributions by name keeps scenarios declarative and hashable.
+WORKLOAD_FACTORIES: Dict[str, Callable[[], FlowSizeDistribution]] = {
+    "paper-default": paper_default_workload,
+    "web-search": web_search_workload,
+    "data-mining": data_mining_workload,
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One record/replay cell, fully described by plain data.
+
+    Attributes:
+        name: Row label (e.g. ``"I2-1G-10G@70"``).
+        scale: The scale preset the scenario is bound to.
+        topology: Name of the topology builder method on
+            :class:`ExperimentScale` (``"internet2"``, ``"rocketfuel"``,
+            ``"fattree"``).
+        topology_args: Keyword arguments for the builder, as a sorted tuple of
+            ``(name, value)`` pairs so the scenario stays hashable.
+        utilization: Offered load on the reference link.
+        original: Original scheduler name (registry name or ``"fq+fifo+"``).
+        reference_gbps: Nominal bandwidth of the reference link in Gbps
+            (scaled by the preset at workload-build time).
+        duration_scale: Multiplier on the preset's flow-arrival window.
+        replay_mode: Default candidate UPS for this scenario's replay.
+        seed_offset: Added to ``scale.seed`` to form the scenario seed.
+        seed_override: Absolute seed that, when set, wins over
+            ``scale.seed + seed_offset`` (used for seed sweeps/replicates).
+        transport: ``"udp"`` (the paper's replay setting) or ``"tcp"``.
+        workload_name: Key into :data:`WORKLOAD_FACTORIES`.
+    """
+
+    name: str
+    scale: "ExperimentScale"
+    topology: str = "internet2"
+    topology_args: Tuple[Tuple[str, float], ...] = ()
+    utilization: float = 0.7
+    original: str = "random"
+    reference_gbps: float = 1.0
+    duration_scale: float = 1.0
+    replay_mode: str = "lstf"
+    seed_offset: int = 0
+    seed_override: Optional[int] = None
+    transport: str = "udp"
+    workload_name: str = "paper-default"
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def seed(self) -> int:
+        """The scenario's fully resolved workload seed."""
+        if self.seed_override is not None:
+            return self.seed_override
+        return self.scale.seed + self.seed_offset
+
+    @property
+    def duration(self) -> float:
+        """Flow-arrival window in seconds."""
+        return self.scale.duration * self.duration_scale
+
+    @property
+    def reference_bandwidth_bps(self) -> float:
+        """The scaled bandwidth of the reference link."""
+        return self.scale.scaled_bandwidth(self.reference_gbps)
+
+    # ------------------------------------------------------------------ #
+    # Materialization
+    # ------------------------------------------------------------------ #
+    def build_topology(self) -> Topology:
+        """Instantiate this scenario's topology spec."""
+        builder = getattr(self.scale, self.topology, None)
+        if builder is None or not callable(builder):
+            raise ValueError(
+                f"scenario {self.name}: ExperimentScale has no topology "
+                f"builder named {self.topology!r}"
+            )
+        return builder(**dict(self.topology_args))
+
+    def workload(self) -> WorkloadSpec:
+        """The workload for this scenario."""
+        try:
+            distribution = WORKLOAD_FACTORIES[self.workload_name]()
+        except KeyError:
+            known = ", ".join(sorted(WORKLOAD_FACTORIES))
+            raise KeyError(
+                f"unknown workload {self.workload_name!r}; known: {known}"
+            ) from None
+        return WorkloadSpec(
+            utilization=self.utilization,
+            reference_bandwidth_bps=self.reference_bandwidth_bps,
+            size_distribution=distribution,
+            transport=self.transport,
+            duration=self.duration,
+        )
+
+    def with_seed(self, seed: int, suffix: Optional[str] = None) -> "Scenario":
+        """A copy of this scenario pinned to an absolute seed."""
+        name = self.name if suffix is None else f"{self.name}{suffix}"
+        return replace(self, seed_override=seed, name=name)
+
+    def run(self, mode: Optional[str] = None, cache=None):
+        """Record (or fetch from cache) and replay this scenario.
+
+        Convenience wrapper over
+        :func:`repro.pipeline.experiment.replay_scenario`.
+        """
+        from repro.pipeline.experiment import replay_scenario
+
+        return replay_scenario(self, mode=mode, cache=cache)
+
+
+def stable_seed(*parts) -> int:
+    """A deterministic 31-bit seed derived from arbitrary labels.
+
+    Used to spawn per-cell RNG seeds for seed replicates: the same
+    (base seed, scenario, replicate) tuple always maps to the same seed, on
+    every platform and in every process, without any shared RNG stream.
+    """
+    blob = json.dumps([str(part) for part in parts])
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31)
+
+
+def expand_replicates(scenarios: List[Scenario], replicates: int) -> List[Scenario]:
+    """Expand each scenario into ``replicates`` seed variants.
+
+    Replicate 0 keeps the scenario's own seed (so default runs reproduce the
+    single-seed rows exactly); replicates 1..n-1 get :func:`stable_seed`-derived
+    seeds and a ``#rN`` name suffix.
+    """
+    if replicates <= 1:
+        return list(scenarios)
+    expanded: List[Scenario] = []
+    for scenario in scenarios:
+        expanded.append(scenario)
+        for replicate in range(1, replicates):
+            expanded.append(
+                scenario.with_seed(
+                    stable_seed(scenario.seed, scenario.name, replicate),
+                    suffix=f"#r{replicate}",
+                )
+            )
+    return expanded
+
+
+def _default_sweep_name(base: Scenario, parameter: str, value) -> str:
+    if isinstance(value, float):
+        return f"{base.name}[{parameter}={value:g}]"
+    return f"{base.name}[{parameter}={value}]"
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A one-parameter scenario sweep.
+
+    Expands ``base`` into one scenario per value of ``parameter``.  ``namer``
+    (a module-level function, so sweeps stay picklable) maps ``(base, value)``
+    to the row label; the default appends ``[parameter=value]``.
+    """
+
+    base: Scenario
+    parameter: str
+    values: Tuple
+    namer: Optional[Callable[[Scenario, object], str]] = None
+
+    def scenarios(self) -> List[Scenario]:
+        """The expanded scenario list, in value order."""
+        out: List[Scenario] = []
+        for value in self.values:
+            if self.namer is not None:
+                name = self.namer(self.base, value)
+            else:
+                name = _default_sweep_name(self.base, self.parameter, value)
+            out.append(replace(self.base, **{self.parameter: value}, name=name))
+        return out
+
+    def __iter__(self):
+        return iter(self.scenarios())

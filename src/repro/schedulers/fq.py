@@ -43,8 +43,7 @@ class FairQueueingScheduler(PriorityScheduler):
     @staticmethod
     def _flow_weight(packet: Packet) -> float:
         """Relative weight of the packet's flow (1.0 unless set by the workload)."""
-        weight = getattr(packet, "flow_weight", None)
-        return 1.0 if weight is None else float(weight)
+        return float(packet.flow_weight)
 
     def on_dequeue(self, packet: Packet, enqueue_time: float, now: float) -> None:
         # Advance the virtual clock to the finish tag of the packet entering

@@ -26,7 +26,7 @@ class PacketType(enum.Enum):
     ACK = "ack"
 
 
-@dataclass
+@dataclass(slots=True)
 class HopRecord:
     """Timing of one packet at one node (used for traces and replay analysis).
 
@@ -52,7 +52,7 @@ class HopRecord:
         return self.start_service_time - self.arrival_time
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketHeader:
     """Mutable header fields readable and writable by schedulers.
 
@@ -107,13 +107,16 @@ def reset_packet_ids() -> None:
     _packet_counter = itertools.count()
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Packet:
     """A network packet.
 
     Packets are mutable objects with identity semantics: equality and hashing
     are by object identity (``eq=False``), so packets can be held in sets and
-    compared with ``is`` even as schedulers rewrite their headers.
+    compared with ``is`` even as schedulers rewrite their headers.  The class
+    is slotted (as are :class:`PacketHeader` and :class:`HopRecord`): packets
+    are the hot-path allocation of every simulation, and slots cut both the
+    per-packet memory footprint and attribute-access time.
 
     Attributes:
         flow_id: Identifier of the flow the packet belongs to.
@@ -142,6 +145,8 @@ class Packet:
     #: When this packet is a replay copy of a packet from an original
     #: schedule, the original packet's id (used to match the two runs).
     replay_of: Optional[int] = None
+    #: Weight of the packet's flow for weighted fair queueing (1.0 = equal).
+    flow_weight: float = 1.0
 
     # --- bookkeeping (not visible to schedulers in the formal model) ---
     ingress_time: Optional[float] = None

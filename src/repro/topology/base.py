@@ -99,6 +99,56 @@ class Topology:
         """Total number of full-duplex links."""
         return len(self.links)
 
+    def bottleneck_bandwidth_bps(self) -> float:
+        """Bandwidth of the slowest link in the topology."""
+        if not self.links:
+            raise ValueError(f"topology {self.name} has no links")
+        return min(link.bandwidth_bps for link in self.links)
+
+    def bottleneck_transmission_time(self, size_bytes: float) -> float:
+        """Transmission time of ``size_bytes`` on the slowest link.
+
+        This is the threshold ``T`` used in Table 1 of the paper ("overdue by
+        more than one transmission time on the bottleneck link").  Computing
+        it from the link specs means callers never need to instantiate a
+        probe network just to find the threshold.
+        """
+        from repro.utils.units import transmission_delay
+
+        return transmission_delay(size_bytes, self.bottleneck_bandwidth_bps())
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serializable spec (used by schedule files and the cache key)."""
+        return {
+            "name": self.name,
+            "nodes": [[node.name, node.kind] for node in self.nodes],
+            "links": [
+                [
+                    link.a,
+                    link.b,
+                    link.bandwidth_bps,
+                    link.propagation_delay,
+                    link.buffer_bytes,
+                ]
+                for link in self.links
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Topology":
+        """Rebuild a topology from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            nodes=[NodeSpec(name, kind) for name, kind in data["nodes"]],
+            links=[
+                LinkSpec(a, b, bandwidth, propagation, buffer_bytes)
+                for a, b, bandwidth, propagation, buffer_bytes in data["links"]
+            ],
+        )
+
     def validate(self) -> None:
         """Check internal consistency (unique names, links reference known nodes)."""
         names = [node.name for node in self.nodes]
