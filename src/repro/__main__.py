@@ -45,7 +45,7 @@ def _scale(name: str):
     return presets[name]()
 
 
-def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+def _add_scale_argument(parser) -> None:
     parser.add_argument(
         "--scale",
         choices=("quick", "smoke", "paper"),
@@ -82,13 +82,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         names = args.experiments
     cache_dir = None if args.no_cache else args.cache_dir
+    scale_name = "quick" if args.quick else args.scale
     try:
         summary = run_pipeline(
             names=names,
-            scale=_scale(args.scale),
+            scale=_scale(scale_name),
             workers=args.workers,
             cache_dir=cache_dir,
             replicates=args.replicates,
+            workload=args.workload,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -116,8 +118,44 @@ def cmd_run(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------- #
 # list
 # ---------------------------------------------------------------------- #
+def _workload_entries() -> List[dict]:
+    from repro.traffic.registry import WORKLOADS
+
+    entries = []
+    for definition in WORKLOADS:
+        entries.append(
+            {
+                "name": definition.name,
+                "group": definition.group,
+                "distribution": definition.distribution.kind,
+                "mean_flow_kb": definition.mean_flow_size() / 1e3,
+                "perturbations": definition.describe_perturbations(),
+                "description": definition.description,
+            }
+        )
+    return entries
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.pipeline.experiment import default_registry
+
+    if args.workloads:
+        entries = _workload_entries()
+        if args.json:
+            print(json.dumps(entries, indent=2))
+            return 0
+        name_width = max(len(e["name"]) for e in entries)
+        group_width = max(len(e["group"]) for e in entries)
+        dist_width = max(len(e["distribution"]) for e in entries)
+        print(f"{len(entries)} workload(s) in the registry:")
+        for entry in entries:
+            print(
+                f"  {entry['name']:<{name_width}}  {entry['group']:<{group_width}}  "
+                f"{entry['distribution']:<{dist_width}}  "
+                f"mean {entry['mean_flow_kb']:8.1f} KB  {entry['perturbations']}"
+            )
+        print("\nuse with `run <experiment> --workload <name>` or via the adversarial group")
+        return 0
 
     scale = _scale(args.scale)
     registry = default_registry()
@@ -258,7 +296,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run experiments (parallel, cached)")
     run_parser.add_argument("experiments", nargs="*", help="experiment names (see `list`)")
     run_parser.add_argument("--all", action="store_true", help="run every experiment")
-    _add_scale_argument(run_parser)
+    scale_group = run_parser.add_mutually_exclusive_group()
+    _add_scale_argument(scale_group)
     run_parser.add_argument(
         "--workers", type=int, default=1, help="worker processes (default: 1 = serial)"
     )
@@ -274,13 +313,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--replicates",
         type=int,
         default=1,
-        help="seed replicates per replay scenario (default: 1)",
+        help="seed replicates per replay scenario (default: 1); "
+        "replicated runs add mean/stddev/95%% CI summary rows",
+    )
+    run_parser.add_argument(
+        "--workload",
+        default=None,
+        help="override every scenario's workload with a registry workload "
+        "(see `list --workloads`)",
+    )
+    scale_group.add_argument(
+        "--quick", action="store_true", help="shorthand for --scale quick"
     )
     run_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
     run_parser.set_defaults(func=cmd_run)
 
     list_parser = subparsers.add_parser("list", help="list registered experiments")
     _add_scale_argument(list_parser)
+    list_parser.add_argument(
+        "--workloads",
+        action="store_true",
+        help="list the workload registry (name, group, distribution, "
+        "perturbations, mean flow size) instead of experiments",
+    )
     list_parser.add_argument("--json", action="store_true", help="emit JSON")
     list_parser.set_defaults(func=cmd_list)
 

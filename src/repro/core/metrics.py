@@ -9,8 +9,9 @@ Figure 1.  This module computes all three from a pair of schedules.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.schedule import Schedule
 
@@ -32,6 +33,13 @@ class ReplayMetrics:
         queueing_delay_ratios: Per-packet ratio of replay queueing delay to
             original queueing delay (Figure 1); packets with zero original
             queueing delay are skipped.
+        deadline_total: Flows carrying a completion deadline (0 when the
+            workload was not deadline-tagged).
+        deadline_met_original: Deadline flows whose *last packet's original*
+            output time met the deadline.
+        deadline_met_replay: Deadline flows whose *last packet's replay*
+            output time met the deadline (a flow with any packet missing
+            from the replay counts as missed).
     """
 
     total_packets: int = 0
@@ -42,6 +50,9 @@ class ReplayMetrics:
     mean_lateness: float = 0.0
     max_lateness: float = 0.0
     queueing_delay_ratios: List[float] = field(default_factory=list)
+    deadline_total: int = 0
+    deadline_met_original: int = 0
+    deadline_met_replay: int = 0
 
     @property
     def overdue_fraction(self) -> float:
@@ -56,6 +67,20 @@ class ReplayMetrics:
         if self.total_packets == 0:
             return 0.0
         return self.overdue_beyond_threshold_count / self.total_packets
+
+    @property
+    def deadline_met_fraction_original(self) -> float:
+        """Fraction of deadline-tagged flows on time in the original run."""
+        if self.deadline_total == 0:
+            return 0.0
+        return self.deadline_met_original / self.deadline_total
+
+    @property
+    def deadline_met_fraction_replay(self) -> float:
+        """Fraction of deadline-tagged flows on time in the replay."""
+        if self.deadline_total == 0:
+            return 0.0
+        return self.deadline_met_replay / self.deadline_total
 
     def summary(self) -> Dict[str, float]:
         """Headline numbers as a dictionary (used by the experiment tables)."""
@@ -91,10 +116,23 @@ def compare_schedules(
     """
     metrics = ReplayMetrics(threshold=threshold)
     lateness_total = 0.0
+    # Deadlines are *flow*-completion targets: a flow meets its deadline only
+    # if its last packet does, so deadline accounting aggregates per flow id
+    # as [deadline, last original output, last replay output, any missing].
+    deadline_flows: Dict[int, List[float]] = {}
 
     for record in original:
         metrics.total_packets += 1
         replayed = replay.get(record.packet_id)
+        if record.deadline is not None:
+            entry = deadline_flows.setdefault(
+                record.flow_id, [record.deadline, -math.inf, -math.inf, False]
+            )
+            entry[1] = max(entry[1], record.output_time)
+            if replayed is None:
+                entry[3] = True
+            else:
+                entry[2] = max(entry[2], replayed.output_time)
         if replayed is None:
             metrics.missing_packets += 1
             metrics.overdue_count += 1
@@ -113,6 +151,13 @@ def compare_schedules(
             metrics.queueing_delay_ratios.append(
                 replayed.total_queueing_delay / original_queueing
             )
+
+    for deadline, original_last, replay_last, missing in deadline_flows.values():
+        metrics.deadline_total += 1
+        if original_last <= deadline + tolerance:
+            metrics.deadline_met_original += 1
+        if not missing and replay_last <= deadline + tolerance:
+            metrics.deadline_met_replay += 1
 
     if metrics.total_packets:
         metrics.mean_lateness = lateness_total / metrics.total_packets

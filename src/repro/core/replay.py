@@ -89,6 +89,7 @@ class ReplayInjector:
             replay_of=record.packet_id,
         )
         packet.header.flow_size_bytes = record.flow_size_bytes
+        packet.flow_deadline = record.deadline
         self.initializer.initialize(packet, record, self.network)
         self.network.host(record.src).send(packet)
         self.injected += 1
@@ -112,6 +113,24 @@ class ReplayResult:
     def overdue_beyond_threshold_fraction(self) -> float:
         """Fraction of packets overdue by more than the bottleneck transmission time."""
         return self.metrics.overdue_beyond_threshold_fraction
+
+    # ------------------------------------------------------------------ #
+    # Deadline-aware evaluation (deadline-tagged workloads)
+    # ------------------------------------------------------------------ #
+    @property
+    def has_deadlines(self) -> bool:
+        """Whether the original schedule carried any flow deadlines."""
+        return self.metrics.deadline_total > 0
+
+    @property
+    def deadline_met_fraction_original(self) -> float:
+        """Fraction of deadline-tagged flows on time in the original run."""
+        return self.metrics.deadline_met_fraction_original
+
+    @property
+    def deadline_met_fraction_replay(self) -> float:
+        """Fraction of deadline-tagged flows on time in the replay."""
+        return self.metrics.deadline_met_fraction_replay
 
 
 def replay_scheduler_factory(mode: str) -> SchedulerFactory:

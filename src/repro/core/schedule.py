@@ -95,6 +95,10 @@ class PacketRecord:
             hand-built schedules that only specify end-to-end times).
         flow_size_bytes: Size of the packet's flow, carried through so that
             replay modes that need it (e.g. SJF-flavoured analyses) have it.
+        deadline: Absolute completion deadline of the packet's flow
+            (``None`` when the workload carried no deadlines).  Set by
+            deadline-tagging perturbations; replay evaluation reports
+            deadline-met fractions for original and replay when present.
     """
 
     packet_id: int
@@ -107,6 +111,7 @@ class PacketRecord:
     path: List[str]
     hops: List[HopTiming] = field(default_factory=list)
     flow_size_bytes: Optional[float] = None
+    deadline: Optional[float] = None
 
     @classmethod
     def from_packet(cls, packet: Packet) -> "PacketRecord":
@@ -139,6 +144,7 @@ class PacketRecord:
             path=path,
             hops=hops,
             flow_size_bytes=packet.header.flow_size_bytes,
+            deadline=packet.flow_deadline,
         )
 
     @property
@@ -183,6 +189,7 @@ class PacketRecord:
             "path": list(self.path),
             "hops": [hop.to_list() for hop in self.hops],
             "flow_size_bytes": self.flow_size_bytes,
+            "deadline": self.deadline,
         }
 
     @classmethod
@@ -199,6 +206,7 @@ class PacketRecord:
             path=list(data["path"]),
             hops=[HopTiming.from_list(hop) for hop in data["hops"]],
             flow_size_bytes=data.get("flow_size_bytes"),
+            deadline=data.get("deadline"),
         )
 
 

@@ -10,6 +10,7 @@ from repro.experiments.ablations import (
     run_omniscient_ablation,
     run_preemption_ablation,
 )
+from repro.experiments.adversarial import adversarial_scenarios, run_adversarial
 from repro.experiments.config import ExperimentResult, ExperimentScale
 from repro.experiments.figure1 import queueing_delay_ratio_cdf, run_figure1
 from repro.experiments.figure2 import run_fct_scenario, run_figure2
@@ -56,6 +57,8 @@ __all__ = [
     "run_preemption_ablation",
     "run_edf_equivalence",
     "run_omniscient_ablation",
+    "run_adversarial",
+    "adversarial_scenarios",
     "EXPERIMENTS",
     "run_all",
     "run_all_summary",

@@ -30,7 +30,7 @@ from repro.pipeline.experiment import (
     replay_scenario,
 )
 from repro.pipeline.runner import run_experiment
-from repro.pipeline.scenario import Scenario, expand_replicates
+from repro.pipeline.scenario import Scenario, expand_replicates, override_workload
 
 
 class ModeComparisonDefinition(ExperimentDef):
@@ -40,23 +40,19 @@ class ModeComparisonDefinition(ExperimentDef):
     modes: Tuple[str, ...] = ()
     #: Row columns (beyond scenario identity) pulled from the replay metrics.
     columns: Tuple[str, ...] = ("fraction_overdue", "fraction_overdue_beyond_T")
-    #: Seed replicates per scenario (see :func:`expand_replicates`).
-    replicates: int = 1
+    supports_workload = True
+    supports_replicates = True
 
     def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
         raise NotImplementedError
 
-    def with_replicates(self, replicates: int) -> "ModeComparisonDefinition":
-        import copy
-
-        clone = copy.copy(self)
-        clone.replicates = replicates
-        return clone
-
     def cells(self, scale: ExperimentScale) -> List[Cell]:
+        scenarios = self.scenarios(scale)
+        if self.workload is not None:
+            scenarios = override_workload(scenarios, self.workload)
         return [
             Cell(self.name, scenario.name, mode, scenario.seed, spec=scenario)
-            for scenario in expand_replicates(self.scenarios(scale), self.replicates)
+            for scenario in expand_replicates(scenarios, self.replicates)
             for mode in self.modes
         ]
 

@@ -125,12 +125,15 @@ class ExperimentResult:
         scale_label: Which preset produced it.
         rows: List of per-row dictionaries (column name -> value).
         notes: Free-form remarks (e.g. paper values for comparison).
+        aggregates: Replicate summary rows (mean/stddev/95% CI per base
+            row), populated by the pipeline runner on ``--replicates`` runs.
     """
 
     name: str
     scale_label: str
     rows: List[dict] = field(default_factory=list)
     notes: str = ""
+    aggregates: List[dict] = field(default_factory=list)
 
     def add_row(self, **columns) -> None:
         """Append one result row."""

@@ -29,6 +29,7 @@ from repro.pipeline.experiment import (
     replay_scenario,
 )
 from repro.pipeline.runner import run_experiment
+from repro.pipeline.scenario import override_workload
 from repro.utils.stats import cdf_points, percentile
 
 #: Original schedulers compared in Figure 1.
@@ -57,13 +58,17 @@ class Figure1Definition(ExperimentDef):
         "queueing in the LSTF replay than in the original schedule."
     )
 
+    supports_workload = True
+
     def __init__(
         self,
         schedulers: Sequence[str] = FIGURE1_SCHEDULERS,
         utilization: float = 0.7,
+        workload: Optional[str] = None,
     ) -> None:
         self.schedulers = tuple(schedulers)
         self.utilization = utilization
+        self.workload = workload
 
     def cells(self, scale: ExperimentScale) -> List[Cell]:
         cells: List[Cell] = []
@@ -71,6 +76,8 @@ class Figure1Definition(ExperimentDef):
             scenario = default_scenario(
                 scale, utilization=self.utilization, original=scheduler
             )
+            if self.workload is not None:
+                (scenario,) = override_workload([scenario], self.workload)
             cells.append(Cell(self.name, scheduler, "lstf", scenario.seed, spec=scenario))
         return cells
 

@@ -17,6 +17,7 @@ from repro.experiments.ablations import (
     run_omniscient_ablation,
     run_preemption_ablation,
 )
+from repro.experiments.adversarial import run_adversarial
 from repro.experiments.config import ExperimentResult, ExperimentScale
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
@@ -40,29 +41,50 @@ EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentScale]], ExperimentResult]] 
     "ablation-preemption": run_preemption_ablation,
     "ablation-edf": run_edf_equivalence,
     "ablation-omniscient": run_omniscient_ablation,
+    "adversarial": run_adversarial,
 }
 
 
-def format_result(result: ExperimentResult, float_digits: int = 4) -> str:
-    """Render an experiment result as a fixed-width text table."""
-    if not result.rows:
-        return f"[{result.name} / {result.scale_label}] (no rows)"
-    columns = list(result.rows[0].keys())
+def _format_table(rows: List[dict], float_digits: int) -> List[str]:
+    # Column union across all rows in first-appearance order: replicate
+    # aggregates are ragged (e.g. deadline statistics exist only for the
+    # deadline-tagged groups), and a table keyed off the first row alone
+    # would silently drop the columns it lacks.
+    columns: List[str] = []
+    for row in rows:
+        for column in row:
+            if column not in columns:
+                columns.append(column)
     formatted_rows: List[List[str]] = []
-    for row in result.rows:
+    for row in rows:
         formatted_rows.append([_format_cell(row.get(column), float_digits) for column in columns])
     widths = [
         max(len(column), *(len(row[i]) for row in formatted_rows))
         for i, column in enumerate(columns)
     ]
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines = [header, "-" * len(header)]
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return lines
+
+
+def format_result(result: ExperimentResult, float_digits: int = 4) -> str:
+    """Render an experiment result as a fixed-width text table.
+
+    Replicated results (``--replicates N``) append a second table with the
+    per-base-row mean/stddev/95% CI aggregates.
+    """
+    if not result.rows:
+        return f"[{result.name} / {result.scale_label}] (no rows)"
     lines = [f"== {result.name} ({result.scale_label} scale) =="]
     if result.notes:
         lines.append(result.notes)
-    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
-    lines.append(header)
-    lines.append("-" * len(header))
-    for row in formatted_rows:
-        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    lines.extend(_format_table(result.rows, float_digits))
+    if result.aggregates:
+        lines.append("")
+        lines.append(f"-- {result.name}: replicate summary (mean / stddev / 95% CI) --")
+        lines.extend(_format_table(result.aggregates, float_digits))
     return "\n".join(lines)
 
 
@@ -110,15 +132,17 @@ def run_all_summary(
 
 
 def results_to_json(results: Dict[str, ExperimentResult]) -> str:
-    """Serialize experiment results (rows and notes only) to JSON."""
-    payload = {
-        name: {
+    """Serialize experiment results (rows, notes, replicate aggregates) to JSON."""
+    payload = {}
+    for name, result in results.items():
+        entry = {
             "scale": result.scale_label,
             "notes": result.notes,
             "rows": result.rows,
         }
-        for name, result in results.items()
-    }
+        if result.aggregates:
+            entry["aggregates"] = result.aggregates
+        payload[name] = entry
     return json.dumps(payload, indent=2, default=str)
 
 

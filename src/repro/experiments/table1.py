@@ -34,7 +34,7 @@ from repro.pipeline.experiment import (
     replay_scenario,
 )
 from repro.pipeline.runner import run_experiment
-from repro.pipeline.scenario import Scenario, Sweep, expand_replicates
+from repro.pipeline.scenario import Scenario, Sweep, expand_replicates, override_workload
 
 #: Table-1 rows are now declarative pipeline scenarios rather than closures
 #: over live topology builders.  This alias keeps the ``ReplayScenario`` name
@@ -54,6 +54,7 @@ def default_scenario(
     name: Optional[str] = None,
     edge_core_gbps: float = 1.0,
     host_edge_gbps: float = 10.0,
+    workload: str = "paper-default",
 ) -> Scenario:
     """The paper's default Internet2 scenario with the given tweaks."""
     return Scenario(
@@ -68,11 +69,12 @@ def default_scenario(
         original=original,
         reference_gbps=edge_core_gbps,
         replay_mode=replay_mode,
+        workload_name=workload,
     )
 
 
 def _utilization_row_name(base: Scenario, value) -> str:
-    return f"{base.name}@{int(value * 100)}"
+    return f"{base.name}@{round(value * 100)}"
 
 
 def table1_scenarios(
@@ -168,16 +170,18 @@ class Table1Definition(ExperimentDef):
         "stay below ~1% in almost every scenario."
     )
 
+    supports_workload = True
+    supports_replicates = True
+
     def __init__(
         self,
         scenarios: Optional[Tuple[Scenario, ...]] = None,
         replicates: int = 1,
+        workload: Optional[str] = None,
     ) -> None:
         self._scenarios = scenarios
         self.replicates = replicates
-
-    def with_replicates(self, replicates: int) -> "Table1Definition":
-        return Table1Definition(self._scenarios, replicates)
+        self.workload = workload
 
     def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
         base = (
@@ -185,6 +189,8 @@ class Table1Definition(ExperimentDef):
             if self._scenarios is not None
             else table1_scenarios(scale)
         )
+        if self.workload is not None:
+            base = override_workload(base, self.workload)
         return expand_replicates(base, self.replicates)
 
     def cells(self, scale: ExperimentScale) -> List[Cell]:
@@ -216,9 +222,12 @@ class PriorityComparisonDefinition(ExperimentDef):
         "than T) versus 0.21% (0.02%) with LSTF on the default scenario."
     )
     modes: Tuple[str, ...] = ("lstf", "priority")
+    supports_workload = True
 
     def cells(self, scale: ExperimentScale) -> List[Cell]:
         scenario = default_scenario(scale, name="I2-1G-10G@70")
+        if self.workload is not None:
+            (scenario,) = override_workload([scenario], self.workload)
         return [
             Cell(self.name, scenario.name, mode, scenario.seed, spec=scenario)
             for mode in self.modes

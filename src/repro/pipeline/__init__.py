@@ -39,9 +39,20 @@ from repro.pipeline.experiment import (
     record_scenario_schedule,
     register_experiment,
     replay_scenario,
+    scenario_cache_key,
 )
-from repro.pipeline.runner import RunSummary, run_experiment, run_pipeline
-from repro.pipeline.scenario import Scenario, Sweep, WORKLOAD_FACTORIES
+from repro.pipeline.runner import (
+    RunSummary,
+    aggregate_replicate_rows,
+    run_experiment,
+    run_pipeline,
+)
+from repro.pipeline.scenario import (
+    WORKLOAD_FACTORIES,
+    Scenario,
+    Sweep,
+    override_workload,
+)
 
 __all__ = [
     "Cell",
@@ -54,12 +65,15 @@ __all__ = [
     "ScheduleCache",
     "Sweep",
     "WORKLOAD_FACTORIES",
+    "aggregate_replicate_rows",
     "default_registry",
+    "override_workload",
     "record_scenario_schedule",
     "register_experiment",
     "replay_scenario",
     "run_experiment",
     "run_pipeline",
+    "scenario_cache_key",
     "schedule_cache_key",
     "workload_fingerprint",
 ]

@@ -48,8 +48,14 @@ def distribution_fingerprint(distribution) -> dict:
 
 
 def workload_fingerprint(workload: WorkloadSpec) -> dict:
-    """A JSON-serializable fingerprint of everything that shapes a workload."""
-    return {
+    """A JSON-serializable fingerprint of everything that shapes a workload.
+
+    Perturbations enter the fingerprint only when present, so the cache keys
+    of every pre-existing (unperturbed) scenario are bit-identical to those
+    recorded before the perturbation layer existed — warm caches stay warm
+    across the refactor (pinned by the golden-key regression test).
+    """
+    fingerprint = {
         "utilization": workload.utilization,
         "reference_bandwidth_bps": workload.reference_bandwidth_bps,
         "transport": workload.transport,
@@ -57,6 +63,9 @@ def workload_fingerprint(workload: WorkloadSpec) -> dict:
         "mss": workload.mss,
         "size_distribution": distribution_fingerprint(workload.size_distribution),
     }
+    if workload.perturbations:
+        fingerprint["perturbations"] = [p.to_dict() for p in workload.perturbations]
+    return fingerprint
 
 
 def schedule_cache_key(

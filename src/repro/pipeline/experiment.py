@@ -29,7 +29,7 @@ from repro.core.replay import (
     record_schedule,
 )
 from repro.core.schedule import Schedule
-from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.cache import ScheduleCache, schedule_cache_key
 from repro.pipeline.scenario import Scenario
 from repro.utils.rng import RandomState
 
@@ -87,6 +87,35 @@ class ExperimentDef(ABC):
     result_name: Optional[str] = None
     #: Free-form remarks copied onto the assembled result.
     notes: str = ""
+    #: Whether this experiment's cells honor the ``workload`` attribute
+    #: (set by :meth:`with_workload` / the ``--workload`` CLI override).
+    #: Definitions that opt in must apply ``self.workload`` when expanding
+    #: scenarios; the runner notes unsupported experiments instead of
+    #: silently ignoring the override.
+    supports_workload: bool = False
+    #: Whether this experiment honors the ``replicates`` attribute
+    #: (seed replicates set by :meth:`with_replicates` / ``--replicates``).
+    supports_replicates: bool = False
+    #: Registry workload overriding every scenario (``None`` = keep as-is).
+    workload: Optional[str] = None
+    #: Seed replicates per scenario.
+    replicates: int = 1
+
+    def with_workload(self, workload: str) -> "ExperimentDef":
+        """A copy of this definition pinned to one registry workload."""
+        import copy
+
+        clone = copy.copy(self)
+        clone.workload = workload
+        return clone
+
+    def with_replicates(self, replicates: int) -> "ExperimentDef":
+        """A copy of this definition running ``replicates`` seed replicates."""
+        import copy
+
+        clone = copy.copy(self)
+        clone.replicates = replicates
+        return clone
 
     @abstractmethod
     def cells(self, scale: "ExperimentScale") -> List[Cell]:
@@ -122,6 +151,21 @@ class ExperimentDef(ABC):
 # ---------------------------------------------------------------------- #
 # Shared record/replay cell logic
 # ---------------------------------------------------------------------- #
+def scenario_cache_key(scenario: Scenario) -> str:
+    """The schedule-cache key this scenario's record/replay cell will use.
+
+    Computed from plain specs (no simulation runs), so the runner can plan
+    recording work — deduplicating cells that share one original schedule —
+    before fanning anything out to workers.
+    """
+    return schedule_cache_key(
+        scenario.build_topology(),
+        scenario.original,
+        scenario.workload(),
+        scenario.seed,
+    )
+
+
 def record_scenario_schedule(
     scenario: Scenario,
     topology=None,

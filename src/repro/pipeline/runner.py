@@ -13,6 +13,14 @@ serial ones:
   drawn from a shared stream;
 * results are merged by cell index, never by completion order.
 
+Parallel runs with an on-disk cache are **two-phase**: the driver first
+computes every replay cell's schedule-cache key from plain specs, dedupes
+them, and fans out one recording task per *missing unique key*; only then do
+the replay cells run, all of them hitting the now-warm cache.  This removes
+the cold-cache race in which two workers recorded the same schedule
+concurrently (correct, but duplicated work): every (topology, scheduler,
+workload, seed) key is now recorded exactly once per run.
+
 Workers share the on-disk :class:`ScheduleCache` layer; within a process
 each worker also keeps the in-memory layer, so a warm cache run records
 nothing at all (``RunSummary.records_computed == 0``).
@@ -21,6 +29,7 @@ nothing at all (``RunSummary.records_computed == 0``).
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
@@ -32,7 +41,11 @@ from repro.pipeline.experiment import (
     ExperimentDef,
     ScenarioRegistry,
     default_registry,
+    record_scenario_schedule,
+    scenario_cache_key,
 )
+from repro.pipeline.scenario import Scenario
+from repro.utils.stats import summarize
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments -> pipeline)
     from repro.experiments.config import ExperimentResult, ExperimentScale
@@ -123,6 +136,59 @@ def _worker_run(
     return index, _execute_cell(definition, cell, scale, _WORKER_CACHE)
 
 
+def _worker_record(payload: Tuple[str, Scenario]) -> int:
+    """Phase-1 task: record one deduplicated scenario schedule into the cache.
+
+    Returns the number of schedules actually recorded (0 when another run
+    populated the entry between planning and execution).
+    """
+    from repro.sim.flow import reset_flow_ids
+    from repro.sim.packet import reset_packet_ids
+
+    _, scenario = payload
+    assert _WORKER_CACHE is not None
+    reset_packet_ids()
+    reset_flow_ids()
+    misses_before = _WORKER_CACHE.misses
+    topology = scenario.build_topology()
+    workload = scenario.workload()
+    _WORKER_CACHE.get_or_record(
+        topology=topology,
+        original=scenario.original,
+        workload=workload,
+        seed=scenario.seed,
+        recorder=lambda: record_scenario_schedule(scenario, topology, workload),
+    )
+    return _WORKER_CACHE.misses - misses_before
+
+
+def _plan_records(
+    tasks: Sequence[Tuple[ExperimentDef, Cell]], cache: ScheduleCache
+) -> List[Tuple[str, Scenario]]:
+    """Unique (cache key, scenario) pairs whose schedules are not on disk yet.
+
+    Only cells whose spec is a :class:`Scenario` go through the schedule
+    cache (direct-simulation cells carry other specs); those sharing one
+    original schedule — across modes *and* across experiments — collapse to
+    a single entry, so phase 1 records each key exactly once.
+    """
+    planned: "OrderedDict[str, Scenario]" = OrderedDict()
+    key_by_scenario: Dict[Scenario, str] = {}
+    for _, cell in tasks:
+        scenario = cell.spec
+        if not isinstance(scenario, Scenario):
+            continue
+        # Scenarios are frozen/hashable; memoize so cells sharing one
+        # scenario hash its topology and workload specs only once.
+        key = key_by_scenario.get(scenario)
+        if key is None:
+            key = scenario_cache_key(scenario)
+            key_by_scenario[scenario] = key
+        if key not in planned and key not in cache:
+            planned[key] = scenario
+    return list(planned.items())
+
+
 # ---------------------------------------------------------------------- #
 # Entry points
 # ---------------------------------------------------------------------- #
@@ -154,6 +220,7 @@ def run_pipeline(
     cache_dir: Optional[str] = None,
     registry: Optional[ScenarioRegistry] = None,
     replicates: int = 1,
+    workload: Optional[str] = None,
 ) -> RunSummary:
     """Run experiments, optionally fanning their cells across processes.
 
@@ -166,7 +233,11 @@ def run_pipeline(
         registry: Registry to resolve names against (default: the global one).
         replicates: Seed replicates for experiments that support them
             (each replicate re-runs every replay scenario under a distinct,
-            deterministically derived seed).
+            deterministically derived seed).  Replicated results additionally
+            carry per-row mean/stddev/95% CI aggregates.
+        workload: Workload-registry name overriding every scenario's
+            workload, for experiments that support it (``python -m repro run
+            ... --workload <name>``).
 
     Returns:
         A :class:`RunSummary` with per-experiment results merged in cell
@@ -182,10 +253,16 @@ def run_pipeline(
     definitions: List[ExperimentDef] = []
     notes: List[str] = []
     unreplicated: List[str] = []
+    unworkloaded: List[str] = []
     for name in selected:
         definition = registry.get(name)
+        if workload is not None:
+            if definition.supports_workload:
+                definition = definition.with_workload(workload)
+            else:
+                unworkloaded.append(name)
         if replicates > 1:
-            if hasattr(definition, "with_replicates"):
+            if definition.supports_replicates:
                 definition = definition.with_replicates(replicates)
             else:
                 unreplicated.append(name)
@@ -194,6 +271,11 @@ def run_pipeline(
         notes.append(
             f"replicates={replicates} not supported by: {', '.join(unreplicated)} "
             "(those experiments ran single-seed)"
+        )
+    if unworkloaded:
+        notes.append(
+            f"workload={workload!r} not supported by: {', '.join(unworkloaded)} "
+            "(those experiments kept their own workloads)"
         )
 
     tasks: List[Tuple[ExperimentDef, Cell]] = []
@@ -211,22 +293,38 @@ def run_pipeline(
             cell_results[index] = _execute_cell(definition, cell, scale, cache)
         cache_hits, cache_misses = cache.hits, cache.misses
     else:
+        # Phase 1 (record): with a shared on-disk cache, record each missing
+        # unique schedule exactly once before any replay cell runs.  Without
+        # a disk layer workers cannot share recordings, so phase 1 is skipped
+        # and each worker records what it needs (the pre-two-phase behavior).
+        plans: List[Tuple[str, Scenario]] = []
+        if cache_dir is not None:
+            plans = _plan_records(tasks, ScheduleCache(cache_dir))
         payloads = [
             (index, definition, cell, scale)
             for index, (definition, cell) in enumerate(tasks)
         ]
+        records_computed = 0
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_worker_init, initargs=(cache_dir,)
         ) as pool:
+            if plans:
+                records_computed = sum(pool.map(_worker_record, plans))
+            # Phase 2 (replay): every cell runs against the warm cache.
             for index, result in pool.map(_worker_run, payloads):
                 cell_results[index] = result
         cache_hits = sum(r.cache_hits for r in cell_results if r is not None)
-        cache_misses = sum(r.cache_misses for r in cell_results if r is not None)
+        cache_misses = records_computed + sum(
+            r.cache_misses for r in cell_results if r is not None
+        )
 
     results: Dict[str, ExperimentResult] = {}
     for definition, (name, first, count) in zip(definitions, spans):
         chunk = [r for r in cell_results[first : first + count] if r is not None]
-        results[name] = definition.assemble(scale, chunk)
+        result = definition.assemble(scale, chunk)
+        if replicates > 1 and name not in unreplicated:
+            result.aggregates = aggregate_replicate_rows(result.rows)
+        results[name] = result
 
     return RunSummary(
         results=results,
@@ -237,3 +335,66 @@ def run_pipeline(
         cache_misses=cache_misses,
         notes=notes,
     )
+
+
+# ---------------------------------------------------------------------- #
+# Replicate aggregation
+# ---------------------------------------------------------------------- #
+def _replicate_base(value: str) -> str:
+    """Strip the ``#rN`` replicate suffix from a row label."""
+    return value.split("#r")[0]
+
+
+def aggregate_replicate_rows(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Collapse replicate rows into per-base-row summary statistics.
+
+    Rows are grouped by their string-valued identity columns (with the
+    ``#rN`` replicate suffix stripped); every numeric column then yields
+    ``<column>_mean`` / ``<column>_stddev`` / ``<column>_ci95`` over the
+    group (sample stddev, 95% Student-t confidence half-width — see
+    :func:`repro.utils.stats.summarize`).
+    """
+    groups: "OrderedDict[Tuple, List[Dict[str, object]]]" = OrderedDict()
+    for row in rows:
+        identity = tuple(
+            (column, _replicate_base(value))
+            for column, value in row.items()
+            if isinstance(value, str)
+        )
+        groups.setdefault(identity, []).append(row)
+
+    aggregated: List[Dict[str, object]] = []
+    for identity, members in groups.items():
+        out: Dict[str, object] = dict(identity)
+        out["replicates"] = len(members)
+        # Numeric columns are collected across *all* members: a column that
+        # happens to be None in the first replicate (e.g. deadline fractions
+        # of a seed that tagged no flows) must still be aggregated.
+        numeric_columns: List[str] = []
+        for member in members:
+            for column, value in member.items():
+                if (
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and column not in numeric_columns
+                ):
+                    numeric_columns.append(column)
+        for column in numeric_columns:
+            values = [
+                float(member[column])
+                for member in members
+                if isinstance(member.get(column), (int, float))
+                and not isinstance(member.get(column), bool)
+            ]
+            if not values:
+                continue
+            stats = summarize(values)
+            out[f"{column}_mean"] = stats.mean
+            out[f"{column}_stddev"] = stats.stddev
+            out[f"{column}_ci95"] = stats.ci95
+            if len(values) != len(members):
+                # Fewer samples than replicates (missing/None cells): say so
+                # instead of letting the error bar silently overclaim.
+                out[f"{column}_n"] = len(values)
+        aggregated.append(out)
+    return aggregated

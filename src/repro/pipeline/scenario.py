@@ -17,28 +17,42 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections.abc import Mapping
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.topology.base import Topology
-from repro.traffic.distributions import (
-    FlowSizeDistribution,
-    data_mining_workload,
-    paper_default_workload,
-    web_search_workload,
-)
+from repro.traffic.distributions import FlowSizeDistribution
+from repro.traffic.registry import WORKLOADS
 from repro.traffic.workload import WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments -> pipeline)
     from repro.experiments.config import ExperimentScale
 
-#: Named workload (flow-size distribution) factories available to scenarios.
-#: Referencing distributions by name keeps scenarios declarative and hashable.
-WORKLOAD_FACTORIES: Dict[str, Callable[[], FlowSizeDistribution]] = {
-    "paper-default": paper_default_workload,
-    "web-search": web_search_workload,
-    "data-mining": data_mining_workload,
-}
+
+class _WorkloadFactoryView(Mapping):
+    """Thin read-only compatibility view over the workload registry.
+
+    Scenarios used to reference a hard-coded dict of distribution factory
+    lambdas; the registry (:data:`repro.traffic.registry.WORKLOADS`) is now
+    the single source of truth, and this view keeps the old
+    ``WORKLOAD_FACTORIES[name]()`` call shape working — each entry is a
+    zero-argument callable building the workload's flow-size distribution.
+    """
+
+    def __getitem__(self, name: str) -> Callable[[], FlowSizeDistribution]:
+        return WORKLOADS.get(name).build_distribution
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(WORKLOADS.names())
+
+    def __len__(self) -> int:
+        return len(WORKLOADS)
+
+
+#: Named workload factories available to scenarios — a compatibility view
+#: over the workload registry (see :mod:`repro.traffic.registry`).
+WORKLOAD_FACTORIES = _WorkloadFactoryView()
 
 
 @dataclass(frozen=True)
@@ -63,7 +77,8 @@ class Scenario:
         seed_override: Absolute seed that, when set, wins over
             ``scale.seed + seed_offset`` (used for seed sweeps/replicates).
         transport: ``"udp"`` (the paper's replay setting) or ``"tcp"``.
-        workload_name: Key into :data:`WORKLOAD_FACTORIES`.
+        workload_name: Key into the workload registry
+            (:data:`repro.traffic.registry.WORKLOADS`).
     """
 
     name: str
@@ -113,21 +128,20 @@ class Scenario:
             )
         return builder(**dict(self.topology_args))
 
+    def workload_def(self):
+        """This scenario's :class:`~repro.traffic.registry.WorkloadDef`."""
+        return WORKLOADS.get(self.workload_name)
+
     def workload(self) -> WorkloadSpec:
-        """The workload for this scenario."""
-        try:
-            distribution = WORKLOAD_FACTORIES[self.workload_name]()
-        except KeyError:
-            known = ", ".join(sorted(WORKLOAD_FACTORIES))
-            raise KeyError(
-                f"unknown workload {self.workload_name!r}; known: {known}"
-            ) from None
+        """The workload for this scenario (distribution + perturbations)."""
+        definition = self.workload_def()
         return WorkloadSpec(
             utilization=self.utilization,
             reference_bandwidth_bps=self.reference_bandwidth_bps,
-            size_distribution=distribution,
+            size_distribution=definition.build_distribution(),
             transport=self.transport,
             duration=self.duration,
+            perturbations=definition.perturbations,
         )
 
     def with_seed(self, seed: int, suffix: Optional[str] = None) -> "Scenario":
@@ -178,6 +192,30 @@ def expand_replicates(scenarios: List[Scenario], replicates: int) -> List[Scenar
                 )
             )
     return expanded
+
+
+def override_workload(scenarios: Sequence[Scenario], workload_name: str) -> List[Scenario]:
+    """Pin every scenario to ``workload_name`` (``--workload`` CLI override).
+
+    Scenarios already on that workload keep their names; overridden ones get
+    a ``+workload`` suffix so their rows (and cache entries) cannot be
+    mistaken for the original workload's.  The name is validated against the
+    registry up front so typos fail before anything runs.
+    """
+    WORKLOADS.get(workload_name)  # raises KeyError listing known workloads
+    out: List[Scenario] = []
+    for scenario in scenarios:
+        if scenario.workload_name == workload_name:
+            out.append(scenario)
+        else:
+            out.append(
+                replace(
+                    scenario,
+                    workload_name=workload_name,
+                    name=f"{scenario.name}+{workload_name}",
+                )
+            )
+    return out
 
 
 def _default_sweep_name(base: Scenario, parameter: str, value) -> str:

@@ -38,6 +38,10 @@ class Flow:
         start_time: Simulation time at which the flow becomes active.
         mss: Maximum segment size used when packetizing the flow.
         weight: Relative weight for weighted-fairness experiments.
+        deadline: Absolute simulation time by which the flow should finish
+            (``None`` = no deadline).  Set by deadline-tagging workload
+            perturbations; carried onto every packet of the flow so replay
+            evaluation can report deadline-met fractions.
     """
 
     src: str
@@ -46,6 +50,7 @@ class Flow:
     start_time: float
     mss: int = DEFAULT_MSS
     weight: float = 1.0
+    deadline: Optional[float] = None
     flow_id: int = field(default_factory=lambda: next(_flow_counter))
 
     # --- progress bookkeeping maintained by the transport layer ---

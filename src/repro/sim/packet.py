@@ -147,6 +147,11 @@ class Packet:
     replay_of: Optional[int] = None
     #: Weight of the packet's flow for weighted fair queueing (1.0 = equal).
     flow_weight: float = 1.0
+    #: Absolute completion deadline of the packet's flow (``None`` = none).
+    #: Distinct from ``header.deadline``, which replay initializers rewrite;
+    #: this field is bookkeeping recorded into schedules for deadline-aware
+    #: replay evaluation.
+    flow_deadline: Optional[float] = None
 
     # --- bookkeeping (not visible to schedulers in the formal model) ---
     ingress_time: Optional[float] = None

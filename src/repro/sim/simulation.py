@@ -113,6 +113,8 @@ class Simulation:
             rng=self.rng.spawn(),
             stop_time=stop_time if stop_time is not None else workload.duration,
             mss=workload.mss,
+            perturbations=workload.perturbations,
+            reference_bandwidth_bps=workload.reference_bandwidth_bps,
         )
         generator.install()
         self.generators.append(generator)

@@ -1,4 +1,11 @@
-"""Traffic generation: flow-size distributions, Poisson arrivals, and sizing helpers."""
+"""Traffic generation: the pluggable workload subsystem.
+
+Flow-size distributions (:mod:`~repro.traffic.distributions`), Poisson
+arrivals (:mod:`~repro.traffic.flowgen`), utilization sizing helpers
+(:mod:`~repro.traffic.workload`), the named workload registry
+(:mod:`~repro.traffic.registry`), and the composable adversarial
+perturbation layer (:mod:`~repro.traffic.perturb`).
+"""
 
 from repro.traffic.distributions import (
     BoundedParetoSize,
@@ -11,6 +18,22 @@ from repro.traffic.distributions import (
     web_search_workload,
 )
 from repro.traffic.flowgen import PoissonFlowGenerator, StaticFlowSet
+from repro.traffic.perturb import (
+    DeadlineTagging,
+    HeavyTailInflation,
+    IncastBurst,
+    OnOffJamming,
+    Perturbation,
+    PerturbationContext,
+    register_perturbation,
+)
+from repro.traffic.registry import (
+    WORKLOADS,
+    DistributionSpec,
+    WorkloadDef,
+    WorkloadRegistry,
+    register_workload,
+)
 from repro.traffic.workload import (
     WorkloadSpec,
     arrival_rate_for_utilization,
@@ -31,4 +54,16 @@ __all__ = [
     "WorkloadSpec",
     "arrival_rate_for_utilization",
     "utilization_of_rate",
+    "Perturbation",
+    "PerturbationContext",
+    "IncastBurst",
+    "OnOffJamming",
+    "HeavyTailInflation",
+    "DeadlineTagging",
+    "register_perturbation",
+    "WORKLOADS",
+    "WorkloadDef",
+    "WorkloadRegistry",
+    "DistributionSpec",
+    "register_workload",
 ]

@@ -135,6 +135,39 @@ class EmpiricalSize(FlowSizeDistribution):
         return sum(s * p for s, p in zip(self.sizes, self.probabilities))
 
 
+_KB = 1e3
+_MB = 1e6
+
+#: (size_bytes, probability) points of the web-search flow-size mixture.
+#: Shared by :func:`web_search_workload` and the workload registry so the two
+#: can never drift apart (the points feed the schedule cache's content hash).
+WEB_SEARCH_POINTS: Tuple[Tuple[float, float], ...] = (
+    (6 * _KB, 0.15),
+    (13 * _KB, 0.20),
+    (19 * _KB, 0.15),
+    (33 * _KB, 0.10),
+    (53 * _KB, 0.08),
+    (133 * _KB, 0.08),
+    (667 * _KB, 0.08),
+    (1.3 * _MB, 0.06),
+    (3.3 * _MB, 0.05),
+    (6.7 * _MB, 0.03),
+    (20 * _MB, 0.02),
+)
+
+#: (size_bytes, probability) points of the data-mining flow-size mixture.
+DATA_MINING_POINTS: Tuple[Tuple[float, float], ...] = (
+    (1.5 * _KB, 0.50),
+    (3 * _KB, 0.15),
+    (10 * _KB, 0.12),
+    (30 * _KB, 0.08),
+    (100 * _KB, 0.05),
+    (1 * _MB, 0.04),
+    (10 * _MB, 0.04),
+    (100 * _MB, 0.02),
+)
+
+
 def web_search_workload() -> EmpiricalSize:
     """Heavy-tailed flow-size mixture shaped like the web-search workload.
 
@@ -142,41 +175,12 @@ def web_search_workload() -> EmpiricalSize:
     carries most of the bytes, which is the property the paper's SJF/SRPT
     comparison depends on.
     """
-    kb = 1e3
-    mb = 1e6
-    return EmpiricalSize(
-        [
-            (6 * kb, 0.15),
-            (13 * kb, 0.20),
-            (19 * kb, 0.15),
-            (33 * kb, 0.10),
-            (53 * kb, 0.08),
-            (133 * kb, 0.08),
-            (667 * kb, 0.08),
-            (1.3 * mb, 0.06),
-            (3.3 * mb, 0.05),
-            (6.7 * mb, 0.03),
-            (20 * mb, 0.02),
-        ]
-    )
+    return EmpiricalSize(WEB_SEARCH_POINTS)
 
 
 def data_mining_workload() -> EmpiricalSize:
     """Flow-size mixture shaped like the data-mining workload (even heavier tail)."""
-    kb = 1e3
-    mb = 1e6
-    return EmpiricalSize(
-        [
-            (1.5 * kb, 0.50),
-            (3 * kb, 0.15),
-            (10 * kb, 0.12),
-            (30 * kb, 0.08),
-            (100 * kb, 0.05),
-            (1 * mb, 0.04),
-            (10 * mb, 0.04),
-            (100 * mb, 0.02),
-        ]
-    )
+    return EmpiricalSize(DATA_MINING_POINTS)
 
 
 def paper_default_workload() -> BoundedParetoSize:

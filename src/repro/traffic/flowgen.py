@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.sim.flow import Flow
 from repro.traffic.distributions import FlowSizeDistribution
+from repro.traffic.perturb import Perturbation, PerturbationContext
 from repro.transport.tcp import start_tcp_flow
 from repro.transport.udp import start_udp_flow
 from repro.utils.rng import RandomState
@@ -40,6 +41,12 @@ class PoissonFlowGenerator:
         stop_time: When flow generation ends (flows already started keep
             running until the simulation ends).
         mss: Maximum segment size handed to the transport.
+        perturbations: Adversarial perturbation stack (see
+            :mod:`repro.traffic.perturb`) applied to the base Poisson
+            process: rate modulation, size rewriting, flow annotation, and
+            extra injected flows.
+        reference_bandwidth_bps: Bandwidth of the workload's reference link,
+            passed to perturbations that need it (e.g. deadline tagging).
     """
 
     def __init__(
@@ -55,6 +62,8 @@ class PoissonFlowGenerator:
         start_time: float = 0.0,
         stop_time: Optional[float] = None,
         mss: int = 1460,
+        perturbations: Sequence[Perturbation] = (),
+        reference_bandwidth_bps: Optional[float] = None,
     ) -> None:
         if arrival_rate_per_source <= 0:
             raise ValueError("arrival rate must be positive")
@@ -79,49 +88,138 @@ class PoissonFlowGenerator:
         self.start_time = start_time
         self.stop_time = stop_time
         self.mss = mss
+        self.perturbations: List[Perturbation] = list(perturbations)
+        self.reference_bandwidth_bps = reference_bandwidth_bps
 
         self.flows: List[Flow] = []
         self.agents: List[object] = []
         self._installed = False
+        self._context = PerturbationContext(
+            duration=(
+                (self.stop_time - self.start_time) if self.stop_time is not None else 0.0
+            ),
+            reference_bandwidth_bps=reference_bandwidth_bps,
+            sources=tuple(self.sources),
+            destinations=tuple(self.destinations),
+            mss=self.mss,
+            start=self.start_time,
+        )
 
     # ------------------------------------------------------------------ #
     # Installation
     # ------------------------------------------------------------------ #
     def install(self) -> None:
-        """Schedule the first flow arrival at every source host."""
+        """Schedule the first flow arrival at every source host.
+
+        Perturbations that inject extra (adversarial) flows contribute them
+        here, before the Poisson stream starts, so flow ids and rng draws
+        stay deterministic under a fixed seed regardless of which process
+        runs the generator.
+        """
         if self._installed:
             raise RuntimeError("flow generator already installed")
         self._installed = True
+        for perturbation in self.perturbations:
+            for flow in perturbation.extra_flows(self.rng, self._context):
+                self.flows.append(flow)
+                self._start_flow(flow)
         for source in self.sources:
-            first_gap = self.rng.exponential(1.0 / self.rate)
-            self.sim.schedule_at(
-                max(self.sim.now, self.start_time) + first_gap,
-                self._arrival,
-                source,
-            )
+            if self.perturbations:
+                # Rate-modulated process: start the exact piecewise-constant
+                # sampler at the window open (it draws the first gap at the
+                # then-active rate and resamples at every rate transition).
+                self.sim.schedule_at(
+                    max(self.sim.now, self.start_time), self._resume, source
+                )
+            else:
+                first_gap = self.rng.exponential(1.0 / self.rate)
+                self.sim.schedule_at(
+                    max(self.sim.now, self.start_time) + first_gap,
+                    self._arrival,
+                    source,
+                )
 
     # ------------------------------------------------------------------ #
     # Flow arrivals
     # ------------------------------------------------------------------ #
+    def _rate_multiplier(self, time: float) -> float:
+        multiplier = 1.0
+        for perturbation in self.perturbations:
+            multiplier *= perturbation.rate_multiplier(time, self._context)
+        return multiplier
+
+    def _next_transition(self, time: float) -> Optional[float]:
+        candidates = [
+            transition
+            for perturbation in self.perturbations
+            if (transition := perturbation.next_transition(time, self._context)) is not None
+            and transition > time
+        ]
+        return min(candidates) if candidates else None
+
     def _arrival(self, source: str) -> None:
         if self.stop_time is not None and self.sim.now > self.stop_time:
+            return
+        multiplier = self._rate_multiplier(self.sim.now)
+        if multiplier <= 0.0:
+            # Defensive: with gap capping arrivals never land inside a
+            # silent window, but a composed multiplier could still be zero
+            # at an exact boundary instant.  Treat it as a lost arrival.
+            self._skip_to_next_window(source)
             return
         flow = self._create_flow(source)
         self.flows.append(flow)
         self._start_flow(flow)
-        next_gap = self.rng.exponential(1.0 / self.rate)
-        self.sim.schedule(next_gap, self._arrival, source)
+        self._schedule_next_arrival(source)
+
+    def _schedule_next_arrival(self, source: str) -> None:
+        """Sample the next arrival of the (piecewise-constant) rate process.
+
+        The gap is drawn at the currently active rate; if it would cross the
+        next rate transition, the draw is discarded and resampled *at* the
+        transition — exact for piecewise-constant rates by memorylessness.
+        Landing an arrival on the boundary itself would instead synchronize
+        every source into a burst the perturbation model never specified.
+        """
+        multiplier = self._rate_multiplier(self.sim.now)
+        if multiplier <= 0.0:
+            self._skip_to_next_window(source)
+            return
+        gap = self.rng.exponential(1.0 / (self.rate * multiplier))
+        transition = self._next_transition(self.sim.now)
+        if transition is not None and self.sim.now + gap > transition:
+            self.sim.schedule_at(transition, self._resume, source)
+        else:
+            self.sim.schedule(gap, self._arrival, source)
+
+    def _skip_to_next_window(self, source: str) -> None:
+        transition = self._next_transition(self.sim.now)
+        if transition is not None and (
+            self.stop_time is None or transition <= self.stop_time
+        ):
+            self.sim.schedule_at(transition, self._resume, source)
+
+    def _resume(self, source: str) -> None:
+        """(Re)start the rate process at a window boundary or the window open."""
+        if self.stop_time is not None and self.sim.now > self.stop_time:
+            return
+        self._schedule_next_arrival(source)
 
     def _create_flow(self, source: str) -> Flow:
         destination = self._pick_destination(source)
         size = self.size_distribution.sample(self.rng)
-        return Flow(
+        for perturbation in self.perturbations:
+            size = perturbation.transform_size(size, self.rng, self._context)
+        flow = Flow(
             src=source,
             dst=destination,
             size_bytes=size,
             start_time=self.sim.now,
             mss=self.mss,
         )
+        for perturbation in self.perturbations:
+            perturbation.annotate_flow(flow, self.rng, self._context)
+        return flow
 
     def _pick_destination(self, source: str) -> str:
         candidates = [name for name in self.destinations if name != source]

@@ -11,8 +11,10 @@ out the per-host arrival rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro.traffic.distributions import FlowSizeDistribution
+from repro.traffic.perturb import Perturbation
 from repro.utils.units import BITS_PER_BYTE
 
 
@@ -58,6 +60,10 @@ class WorkloadSpec:
         transport: ``"udp"`` or ``"tcp"``.
         duration: Length of the flow-arrival window in seconds.
         mss: Maximum segment size used when packetizing flows.
+        perturbations: Adversarial perturbation stack applied to the base
+            arrival process (see :mod:`repro.traffic.perturb`).  Empty for
+            the paper's unperturbed workloads; when non-empty it enters the
+            schedule cache's workload fingerprint.
     """
 
     utilization: float
@@ -66,6 +72,7 @@ class WorkloadSpec:
     transport: str = "udp"
     duration: float = 1.0
     mss: int = 1460
+    perturbations: Tuple[Perturbation, ...] = ()
 
     def per_host_arrival_rate(self) -> float:
         """Poisson flow arrival rate per source host for the target utilization."""

@@ -193,6 +193,7 @@ class TcpSender:
         )
         packet.header.flow_size_bytes = self.flow.size_bytes
         packet.header.remaining_flow_bytes = remaining
+        packet.flow_deadline = self.flow.deadline
         self.flow.packets_sent += 1
         if retransmission:
             self.flow.retransmissions += 1

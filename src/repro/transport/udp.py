@@ -86,6 +86,7 @@ class UdpSource:
             )
             packet.header.flow_size_bytes = self.flow.size_bytes
             packet.header.remaining_flow_bytes = remaining
+            packet.flow_deadline = self.flow.deadline
             remaining -= size
             self.flow.bytes_sent += size
             self.flow.packets_sent += 1

@@ -24,10 +24,12 @@ from repro.utils.units import (
 from repro.utils.rng import RandomState, spawn_rng
 from repro.utils.stats import (
     OnlineStats,
+    Summary,
     ccdf_points,
     cdf_points,
     jain_fairness_index,
     percentile,
+    summarize,
     weighted_mean,
 )
 
@@ -50,9 +52,11 @@ __all__ = [
     "RandomState",
     "spawn_rng",
     "OnlineStats",
+    "Summary",
     "ccdf_points",
     "cdf_points",
     "jain_fairness_index",
     "percentile",
+    "summarize",
     "weighted_mean",
 ]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
@@ -71,6 +72,60 @@ class OnlineStats:
         return merged
 
 
+#: Two-sided 95% Student-t critical values by degrees of freedom (1-30);
+#: larger samples fall back to the normal approximation (1.96).
+_T_TABLE_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Replicate summary: sample mean, spread, and confidence half-width.
+
+    Attributes:
+        count: Number of samples.
+        mean: Sample mean.
+        stddev: Sample standard deviation (``ddof=1``; 0.0 for one sample).
+        ci95: Half-width of the two-sided 95% confidence interval for the
+            mean (Student-t for small samples); 0.0 for one sample.
+    """
+
+    count: int
+    mean: float
+    stddev: float
+    ci95: float
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """The 95% confidence interval as ``(low, high)``."""
+        return (self.mean - self.ci95, self.mean + self.ci95)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean / sample stddev / 95% CI half-width of replicate measurements.
+
+    Used by the pipeline's ``--replicates`` aggregation: each experiment row
+    measured under N seeds collapses to ``mean ± ci95``.  A single sample
+    yields zero spread (no error bar can be inferred from one measurement).
+    """
+    if len(values) == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    arr = np.asarray(values, dtype=float)
+    mean = float(arr.mean())
+    if arr.size < 2:
+        return Summary(count=int(arr.size), mean=mean, stddev=0.0, ci95=0.0)
+    stddev = float(arr.std(ddof=1))
+    t_critical = _T_TABLE_95.get(arr.size - 1, 1.96)
+    ci95 = t_critical * stddev / math.sqrt(arr.size)
+    return Summary(count=int(arr.size), mean=mean, stddev=stddev, ci95=ci95)
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile (0-100) of ``values`` using linear interpolation."""
     if not 0 <= q <= 100:
@@ -102,6 +157,14 @@ def jain_fairness_index(allocations: Sequence[float]) -> float:
     arr = np.asarray(allocations, dtype=float)
     if arr.size == 0:
         return 0.0
+    peak = float(np.abs(arr).max())
+    if peak == 0.0:
+        return 0.0
+    # The index is scale-invariant; normalizing by the largest allocation
+    # keeps the squares away from floating-point underflow (tiny subnormal
+    # allocations would otherwise square to garbage and push the index
+    # outside [1/n, 1]).
+    arr = arr / peak
     total = arr.sum()
     sum_of_squares = float(np.dot(arr, arr))
     if sum_of_squares == 0.0:

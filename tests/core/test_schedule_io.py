@@ -57,6 +57,7 @@ def packet_records(draw, packet_id):
         path=path,
         hops=hops,
         flow_size_bytes=draw(st.one_of(st.none(), finite)),
+        deadline=draw(st.one_of(st.none(), finite)),
     )
 
 
@@ -103,6 +104,23 @@ class TestRoundTripProperty:
         assert [r.packet_id for r in loaded.records()] == [
             r.packet_id for r in schedule.records()
         ]
+
+
+class TestPreDeadlineCompatibility:
+    def test_records_without_deadline_field_load_as_none(self):
+        """Schedule files written before deadlines existed must still load."""
+        data = PacketRecord(
+            packet_id=1,
+            flow_id=1,
+            src="a",
+            dst="b",
+            size_bytes=100.0,
+            ingress_time=0.0,
+            output_time=1.0,
+            path=["a", "b"],
+        ).to_dict()
+        del data["deadline"]  # the pre-refactor on-disk shape
+        assert PacketRecord.from_dict(data).deadline is None
 
 
 # --------------------------------------------------------------------- #

@@ -13,14 +13,16 @@ from repro.transport import start_udp_flow
 from repro.utils import mbps
 
 
-def record(pid, ingress=0.0, output=1.0, queueing=(), path=("a", "r", "b")):
+def record(
+    pid, ingress=0.0, output=1.0, queueing=(), path=("a", "r", "b"), deadline=None, flow=None
+):
     hops = [
         HopTiming(node=f"n{i}", arrival_time=0.0, start_service_time=q, departure_time=None)
         for i, q in enumerate(queueing)
     ]
     return PacketRecord(
         packet_id=pid,
-        flow_id=pid,
+        flow_id=flow if flow is not None else pid,
         src=path[0],
         dst=path[-1],
         size_bytes=1000,
@@ -28,6 +30,7 @@ def record(pid, ingress=0.0, output=1.0, queueing=(), path=("a", "r", "b")):
         output_time=output,
         path=list(path),
         hops=hops,
+        deadline=deadline,
     )
 
 
@@ -136,6 +139,65 @@ class TestReplayMetrics:
         original = Schedule([record(1, output=1.0)])
         replay = Schedule([record(1, output=1.0 + 1e-12)])
         assert fraction_overdue(original, replay) == 0.0
+
+    def test_deadline_metrics_default_to_zero_without_deadlines(self):
+        original = Schedule([record(1), record(2)])
+        replay = Schedule([record(1), record(2)])
+        metrics = compare_schedules(original, replay, threshold=0.1)
+        assert metrics.deadline_total == 0
+        assert metrics.deadline_met_fraction_original == 0.0
+        assert metrics.deadline_met_fraction_replay == 0.0
+
+    def test_deadline_met_fractions_for_original_and_replay(self):
+        original = Schedule(
+            [
+                record(1, output=1.0, deadline=2.0),  # met in both runs
+                record(2, output=1.0, deadline=1.5),  # met originally, missed in replay
+                record(3, output=2.0, deadline=1.0),  # missed in both
+                record(4, output=1.0),                # no deadline: not counted
+            ]
+        )
+        replay = Schedule(
+            [
+                record(1, output=1.5),
+                record(2, output=1.8),
+                record(3, output=2.0),
+                record(4, output=1.0),
+            ]
+        )
+        metrics = compare_schedules(original, replay, threshold=0.1)
+        assert metrics.deadline_total == 3
+        assert metrics.deadline_met_original == 2
+        assert metrics.deadline_met_replay == 1
+        assert metrics.deadline_met_fraction_original == pytest.approx(2 / 3)
+        assert metrics.deadline_met_fraction_replay == pytest.approx(1 / 3)
+
+    def test_deadline_packet_missing_from_replay_counts_as_missed(self):
+        original = Schedule([record(1, output=1.0, deadline=5.0)])
+        metrics = compare_schedules(original, Schedule(), threshold=0.1)
+        assert metrics.deadline_total == 1
+        assert metrics.deadline_met_original == 1
+        assert metrics.deadline_met_replay == 0
+
+    def test_flow_deadline_judged_by_its_last_packet(self):
+        """A multi-packet flow meets its deadline only if every packet —
+        i.e. the last one — beats it; early on-time packets don't count."""
+        original = Schedule(
+            [
+                record(1, output=1.0, deadline=2.0, flow=10),
+                record(2, output=1.5, deadline=2.0, flow=10),
+            ]
+        )
+        late_replay = Schedule(
+            [
+                record(1, output=1.0, flow=10),   # on time
+                record(2, output=3.0, flow=10),   # the flow's last packet is late
+            ]
+        )
+        metrics = compare_schedules(original, late_replay, threshold=0.1)
+        assert metrics.deadline_total == 1  # one flow, not two packets
+        assert metrics.deadline_met_original == 1
+        assert metrics.deadline_met_replay == 0
 
     def test_queueing_delay_ratios_collected(self):
         original = Schedule([record(1, queueing=(0.2,))])

@@ -10,8 +10,42 @@ from repro.utils.stats import (
     cdf_points,
     jain_fairness_index,
     percentile,
+    summarize,
     weighted_mean,
 )
+
+
+class TestSummarize:
+    def test_mean_stddev_and_ci(self):
+        # Samples 1..5: mean 3, sample stddev sqrt(2.5), t(4 df) = 2.776.
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.stddev == pytest.approx(math.sqrt(2.5))
+        assert summary.ci95 == pytest.approx(2.776 * math.sqrt(2.5) / math.sqrt(5))
+        low, high = summary.interval
+        assert low == pytest.approx(summary.mean - summary.ci95)
+        assert high == pytest.approx(summary.mean + summary.ci95)
+
+    def test_single_sample_has_zero_spread(self):
+        summary = summarize([7.0])
+        assert (summary.count, summary.mean) == (1, 7.0)
+        assert summary.stddev == 0.0
+        assert summary.ci95 == 0.0
+
+    def test_identical_samples_have_zero_ci(self):
+        summary = summarize([2.0, 2.0, 2.0])
+        assert summary.mean == 2.0
+        assert summary.ci95 == 0.0
+
+    def test_large_samples_use_normal_approximation(self):
+        values = [float(i % 7) for i in range(100)]
+        summary = summarize(values)
+        assert summary.ci95 == pytest.approx(1.96 * summary.stddev / 10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
 
 
 class TestOnlineStats:
