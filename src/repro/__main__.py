@@ -21,6 +21,13 @@ Subcommands:
   scheduler and print the Table-1 metrics::
 
       python -m repro replay schedule.jsonl.gz --mode lstf
+
+* ``bench`` — measure the record→replay hot path (wall time, events/sec,
+  cells/sec per experiment), optionally writing a ``BENCH_*.json`` payload
+  and gating against committed baseline numbers::
+
+      python -m repro bench --quick --repeat 3 --out BENCH_PR3.json
+      python -m repro bench --quick --baseline BENCH_PR3.json --check
 """
 
 from __future__ import annotations
@@ -284,6 +291,78 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# bench
+# ---------------------------------------------------------------------- #
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        bench_payload,
+        find_regressions,
+        load_bench,
+        run_bench,
+        save_bench,
+        speedup_vs_baseline,
+    )
+
+    scale_name = "quick" if args.quick else args.scale
+    if args.check and args.baseline is None:
+        # Pure argument validation: fail before spending minutes (or, at
+        # paper scale, hours) measuring.
+        print("error: --check requires --baseline", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_bench(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"error: cannot load baseline {args.baseline}: {error}", file=sys.stderr)
+            return 2
+    try:
+        report = run_bench(
+            experiments=args.experiments or None,
+            scale=scale_name,
+            repeat=args.repeat,
+        )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    payload = bench_payload(report, label=args.label, baseline=baseline)
+    if args.out is not None:
+        save_bench(args.out, payload)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.format())
+        if baseline is not None:
+            for name, entry in speedup_vs_baseline(
+                report, baseline.get("results", baseline)
+            ).items():
+                wall = entry.get("wall_time")
+                if wall is not None:
+                    print(f"  speedup vs baseline [{name}]: {wall:.2f}x wall-clock")
+        if args.out is not None:
+            print(f"wrote {args.out}")
+
+    if args.check:
+        assert baseline is not None  # validated before the measurement ran
+        regressions, digest_mismatches = find_regressions(
+            report, baseline, max_slowdown=args.max_slowdown
+        )
+        for warning in digest_mismatches:
+            print(f"warning: determinism drift — {warning}", file=sys.stderr)
+        if regressions:
+            for regression in regressions:
+                print(
+                    f"REGRESSION (> {args.max_slowdown:.0%} slowdown): "
+                    f"{regression.describe()}",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"perf gate OK (threshold: {args.max_slowdown:.0%} slowdown)")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
 # Entry point
 # ---------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -360,6 +439,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay_parser.add_argument("--json", action="store_true", help="emit JSON")
     replay_parser.set_defaults(func=cmd_replay)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="measure the hot path (wall time, events/sec, cells/sec)"
+    )
+    bench_parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names to bench (default: table1 adversarial)",
+    )
+    bench_scale_group = bench_parser.add_mutually_exclusive_group()
+    _add_scale_argument(bench_scale_group)
+    bench_scale_group.add_argument(
+        "--quick", action="store_true", help="shorthand for --scale quick"
+    )
+    bench_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="cold runs per experiment; the best wall time is reported (default: 1)",
+    )
+    bench_parser.add_argument(
+        "--out", default=None, help="write the repro-bench/1 JSON payload to this file"
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="bench JSON to embed as baseline and compute speedups against",
+    )
+    bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any experiment regressed beyond --max-slowdown "
+        "versus the --baseline numbers",
+    )
+    bench_parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=0.25,
+        help="allowed fractional wall-time slowdown for --check (default: 0.25)",
+    )
+    bench_parser.add_argument("--label", default=None, help="free-form label for this run")
+    bench_parser.add_argument("--json", action="store_true", help="emit the JSON payload")
+    bench_parser.set_defaults(func=cmd_bench)
     return parser
 
 

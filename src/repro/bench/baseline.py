@@ -1,0 +1,174 @@
+"""On-disk bench payloads (``repro-bench/1``) and the regression gate.
+
+A bench payload is the JSON written to ``BENCH_*.json`` at the repo root: the
+current measurements, optionally the baseline they are compared against
+(e.g. the numbers measured on the commit before an optimization PR), and the
+resulting speedups.  The regression gate (:func:`find_regressions`) is what
+CI's bench smoke job runs: it fails a build whose wall times regressed beyond
+a soft threshold versus the committed numbers, and separately surfaces rows
+digests that drifted (a determinism warning rather than a hard timing
+failure, since digests — unlike the golden-rows pytest, which runs both
+sides on one machine — may legitimately differ across platforms with
+different libm rounding).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.bench.harness import BenchReport
+
+#: Format tag of bench payload files.
+BENCH_FORMAT = "repro-bench/1"
+
+#: Soft regression threshold: fail when wall time exceeds the reference by
+#: more than this fraction (0.25 = 25% slower).
+DEFAULT_MAX_SLOWDOWN = 0.25
+
+
+def speedup_vs_baseline(
+    current: BenchReport, baseline_results: Dict[str, dict]
+) -> Dict[str, Dict[str, float]]:
+    """Per-experiment speedup factors of ``current`` over a baseline.
+
+    ``{"table1": {"wall_time": 1.8, "events_per_sec": 1.8}}`` means the
+    current run is 1.8x faster in wall time.  Experiments missing from
+    either side are skipped.
+    """
+    speedups: Dict[str, Dict[str, float]] = {}
+    for name, bench in current.results.items():
+        reference = baseline_results.get(name)
+        if not reference:
+            continue
+        entry: Dict[str, float] = {}
+        if bench.wall_time > 0 and reference.get("wall_time"):
+            entry["wall_time"] = reference["wall_time"] / bench.wall_time
+        if reference.get("events_per_sec"):
+            entry["events_per_sec"] = bench.events_per_sec / reference["events_per_sec"]
+        if entry:
+            speedups[name] = entry
+    return speedups
+
+
+def bench_payload(
+    report: BenchReport,
+    label: Optional[str] = None,
+    baseline: Optional[dict] = None,
+    baseline_label: Optional[str] = None,
+) -> dict:
+    """Assemble the JSON payload for a ``BENCH_*.json`` file.
+
+    Args:
+        report: The current measurements.
+        label: Free-form tag for this run (e.g. ``"PR3"``).
+        baseline: A previously saved payload (or bare ``results`` mapping)
+            to embed as the comparison baseline.
+        baseline_label: Overrides the embedded baseline's label.
+    """
+    payload = {
+        "format": BENCH_FORMAT,
+        "label": label,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        **report.to_dict(),
+    }
+    if baseline is not None:
+        baseline_results = baseline.get("results", baseline)
+        payload["baseline"] = {
+            "label": baseline_label or baseline.get("label"),
+            "results": baseline_results,
+        }
+        payload["speedup_vs_baseline"] = speedup_vs_baseline(report, baseline_results)
+    return payload
+
+
+def save_bench(path: Union[str, "os.PathLike"], payload: dict) -> None:
+    """Write a bench payload as pretty-printed JSON (trailing newline)."""
+    with open(os.fspath(path), "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+
+
+def load_bench(path: Union[str, "os.PathLike"]) -> dict:
+    """Load a bench payload written by :func:`save_bench`.
+
+    Raises:
+        ValueError: if the file is not a ``repro-bench/1`` payload.
+    """
+    with open(os.fspath(path), "r", encoding="utf-8") as stream:
+        payload = json.load(stream)
+    if payload.get("format") != BENCH_FORMAT:
+        raise ValueError(
+            f"{os.fspath(path)}: not a {BENCH_FORMAT} file "
+            f"(format={payload.get('format')!r})"
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One experiment whose wall time regressed beyond the threshold."""
+
+    experiment: str
+    wall_time: float
+    reference_wall_time: float
+
+    @property
+    def slowdown(self) -> float:
+        """Fractional slowdown versus the reference (0.30 = 30% slower)."""
+        return self.wall_time / self.reference_wall_time - 1.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.experiment}: {self.wall_time:.3f}s vs reference "
+            f"{self.reference_wall_time:.3f}s ({self.slowdown:+.0%})"
+        )
+
+
+def find_regressions(
+    current: BenchReport,
+    reference: dict,
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+) -> Tuple[List[Regression], List[str]]:
+    """Compare a bench run against reference numbers.
+
+    Args:
+        current: The just-measured report.
+        reference: A bench payload (or bare ``results`` mapping) to compare
+            against — typically the committed ``BENCH_*.json``.
+        max_slowdown: Allowed fractional wall-time slowdown per experiment.
+
+    Returns:
+        ``(regressions, digest_mismatches)``: experiments slower than
+        ``reference * (1 + max_slowdown)``, and experiments whose rows
+        digest differs from the reference (determinism drift — reported
+        separately so callers can warn instead of fail).
+    """
+    reference_results = reference.get("results", reference)
+    regressions: List[Regression] = []
+    digest_mismatches: List[str] = []
+    for name, bench in current.results.items():
+        entry = reference_results.get(name)
+        if not entry:
+            continue
+        reference_wall = entry.get("wall_time")
+        if reference_wall and bench.wall_time > reference_wall * (1.0 + max_slowdown):
+            regressions.append(
+                Regression(
+                    experiment=name,
+                    wall_time=bench.wall_time,
+                    reference_wall_time=reference_wall,
+                )
+            )
+        reference_digest = entry.get("rows_digest")
+        if reference_digest and bench.rows_digest != reference_digest:
+            digest_mismatches.append(
+                f"{name}: rows digest {bench.rows_digest} != reference "
+                f"{reference_digest}"
+            )
+    return regressions, digest_mismatches

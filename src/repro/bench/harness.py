@@ -1,0 +1,245 @@
+"""Measurement core of the bench subsystem.
+
+Each benched experiment runs through the regular pipeline runner — serially,
+with the in-memory schedule cache only — so the measurement covers exactly
+the record→replay hot path a cold ``python -m repro run`` exercises: every
+original schedule is recorded once and every replay cell replays it.  The
+engine's process-wide event counter
+(:attr:`repro.sim.engine.Simulator.events_executed_total`) is snapshotted
+around each run to turn wall time into events/second, the metric the paper's
+Section-5 feasibility argument is really about.
+
+Determinism is part of the measurement: the output rows of every repeat are
+content-hashed (:func:`rows_digest`) and the harness refuses to report a
+number whose rows changed between repeats.  Stored digests let a later run
+(or CI) detect a "speedup" that changed results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+#: Experiments benched when none are named: the Table-1 matrix and the
+#: adversarial scenario matrix — together they cover every scheduler, every
+#: topology, and the perturbation layer.
+DEFAULT_EXPERIMENTS = ("table1", "adversarial")
+
+
+def rows_digest(rows: Sequence[dict]) -> str:
+    """Content hash of an experiment's output rows (order-sensitive).
+
+    Canonical JSON (sorted keys, no whitespace) so the digest is stable
+    across processes and invocations; ``repr``-based float serialization
+    makes it sensitive to any bit-level change in the results.
+    """
+    blob = json.dumps(list(rows), sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class ExperimentBench:
+    """One experiment's measurement.
+
+    Attributes:
+        experiment: Registry name of the experiment.
+        wall_time: Best-of-repeats wall-clock seconds for a full cold run.
+        events: Engine events executed by one run (identical across repeats).
+        events_per_sec: ``events / wall_time``.
+        cells: Cells the experiment expands to at the benched scale.
+        cells_per_sec: ``cells / wall_time``.
+        rows: Output rows produced.
+        rows_digest: Content hash of the rows (determinism fingerprint).
+        repeats: Wall time of every repeat, in run order.
+    """
+
+    experiment: str
+    wall_time: float
+    events: int
+    events_per_sec: float
+    cells: int
+    cells_per_sec: float
+    rows: int
+    rows_digest: str
+    repeats: List[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "wall_time": self.wall_time,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "cells": self.cells,
+            "cells_per_sec": self.cells_per_sec,
+            "rows": self.rows,
+            "rows_digest": self.rows_digest,
+            "repeats": list(self.repeats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentBench":
+        return cls(
+            experiment=data["experiment"],
+            wall_time=data["wall_time"],
+            events=data["events"],
+            events_per_sec=data["events_per_sec"],
+            cells=data["cells"],
+            cells_per_sec=data["cells_per_sec"],
+            rows=data["rows"],
+            rows_digest=data["rows_digest"],
+            repeats=list(data.get("repeats", [])),
+        )
+
+
+@dataclass
+class BenchReport:
+    """A full bench run: per-experiment measurements plus totals."""
+
+    scale: str
+    repeat: int
+    results: "OrderedDict[str, ExperimentBench]" = field(default_factory=OrderedDict)
+
+    @property
+    def wall_time_total(self) -> float:
+        """Sum of the best-of-repeats wall times."""
+        return sum(bench.wall_time for bench in self.results.values())
+
+    @property
+    def events_total(self) -> int:
+        """Engine events executed across all benched experiments (one run each)."""
+        return sum(bench.events for bench in self.results.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "repeat": self.repeat,
+            "wall_time_total": self.wall_time_total,
+            "events_total": self.events_total,
+            "results": {name: bench.to_dict() for name, bench in self.results.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchReport":
+        report = cls(scale=data["scale"], repeat=data["repeat"])
+        for name, entry in data["results"].items():
+            report.results[name] = ExperimentBench.from_dict(entry)
+        return report
+
+    def format(self) -> str:
+        """Human-readable per-experiment table plus totals."""
+        lines = [
+            f"bench: {len(self.results)} experiment(s) at {self.scale} scale, "
+            f"best of {self.repeat} repeat(s)"
+        ]
+        if self.results:
+            name_width = max(len(name) for name in self.results)
+            for name, bench in self.results.items():
+                lines.append(
+                    f"  {name:<{name_width}}  {bench.wall_time:8.3f}s  "
+                    f"{bench.events_per_sec:>12,.0f} events/s  "
+                    f"{bench.cells_per_sec:>6.2f} cells/s  "
+                    f"({bench.cells} cells, {bench.rows} rows, "
+                    f"digest {bench.rows_digest})"
+                )
+            lines.append(
+                f"  total: {self.wall_time_total:.3f}s wall, "
+                f"{self.events_total:,} engine events"
+            )
+        return "\n".join(lines)
+
+
+def _resolve_scale(scale):
+    from repro.experiments.config import ExperimentScale
+
+    if isinstance(scale, str):
+        presets = {
+            "quick": ExperimentScale.quick,
+            "smoke": ExperimentScale.smoke,
+            "paper": ExperimentScale.paper,
+        }
+        return presets[scale]()
+    return scale if scale is not None else ExperimentScale.quick()
+
+
+def bench_experiment(
+    name: str,
+    scale: Union[str, object, None] = None,
+    repeat: int = 1,
+) -> ExperimentBench:
+    """Measure one experiment's cold pipeline run, ``repeat`` times.
+
+    Every repeat runs serially with a fresh in-memory cache (no disk layer),
+    so each one performs the full record-once-replay-many workload.  Wall
+    time is the best of the repeats; events/cells counts come from the last
+    repeat and are checked to be identical across repeats via the rows
+    digest.
+
+    Raises:
+        RuntimeError: if repeats disagree on the output rows — the run is
+            not deterministic and its timing is meaningless.
+    """
+    from repro.pipeline.runner import run_pipeline
+    from repro.sim.engine import Simulator
+
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    scale_preset = _resolve_scale(scale)
+    walls: List[float] = []
+    events = 0
+    digest: Optional[str] = None
+    cells = rows = 0
+    for _ in range(repeat):
+        events_before = Simulator.events_executed_total
+        started = time.perf_counter()
+        summary = run_pipeline(names=[name], scale=scale_preset, workers=1, cache_dir=None)
+        walls.append(time.perf_counter() - started)
+        events = Simulator.events_executed_total - events_before
+        result = summary.results[name]
+        current_digest = rows_digest(result.rows)
+        if digest is not None and current_digest != digest:
+            raise RuntimeError(
+                f"experiment {name!r} produced different rows across bench "
+                f"repeats ({digest} != {current_digest}); refusing to report "
+                "a timing for a non-deterministic run"
+            )
+        digest = current_digest
+        cells = summary.cells
+        rows = len(result.rows)
+    best = min(walls)
+    return ExperimentBench(
+        experiment=name,
+        wall_time=best,
+        events=events,
+        events_per_sec=events / best if best > 0 else 0.0,
+        cells=cells,
+        cells_per_sec=cells / best if best > 0 else 0.0,
+        rows=rows,
+        rows_digest=digest or rows_digest([]),
+        repeats=walls,
+    )
+
+
+def run_bench(
+    experiments: Optional[Sequence[str]] = None,
+    scale: Union[str, object, None] = "quick",
+    repeat: int = 1,
+) -> BenchReport:
+    """Bench a set of experiments and return the assembled report.
+
+    Args:
+        experiments: Experiment registry names (default:
+            :data:`DEFAULT_EXPERIMENTS`).
+        scale: Scale preset name (``"quick"``/``"smoke"``/``"paper"``) or an
+            :class:`~repro.experiments.config.ExperimentScale` instance.
+        repeat: Cold runs per experiment; the best wall time is reported.
+    """
+    names = list(experiments) if experiments else list(DEFAULT_EXPERIMENTS)
+    scale_label = scale if isinstance(scale, str) else _resolve_scale(scale).label
+    report = BenchReport(scale=scale_label, repeat=repeat)
+    for name in names:
+        report.results[name] = bench_experiment(name, scale=scale, repeat=repeat)
+    return report

@@ -58,7 +58,23 @@ REPLAY_MODES: Dict[str, tuple] = {
 
 
 class ReplayInjector:
-    """Re-injects the packets of a recorded schedule into a fresh network."""
+    """Re-injects the packets of a recorded schedule into a fresh network.
+
+    Injection is *streaming*: instead of pre-scheduling one heap event per
+    recorded packet (which made the engine heap O(total packets) before the
+    first packet even moved), :meth:`install` arms a single self-rescheduling
+    cursor that walks the ingress-time-sorted records.  The heap stays
+    O(in-flight packets), so every push/pop sifts a far shallower heap.
+
+    The replay is bit-identical to the old upfront injector: the cursor is
+    scheduled with :meth:`~repro.sim.engine.Simulator.schedule_at_front`, so
+    injections at time ``t`` fire before any simulation event at ``t`` —
+    exactly the ordering the upfront injector guaranteed by grabbing the
+    lowest sequence numbers — and records sharing one ingress time are
+    injected back-to-back in record order, just as their back-to-back
+    pre-scheduled events used to fire.  :meth:`install_upfront` keeps the
+    original implementation as the reference for the equivalence tests.
+    """
 
     def __init__(
         self,
@@ -72,11 +88,39 @@ class ReplayInjector:
         self.schedule = schedule
         self.initializer = initializer
         self.injected = 0
+        self._records: List[PacketRecord] = []
+        self._cursor = 0
 
     def install(self) -> None:
-        """Schedule every recorded packet's injection at its original ingress time."""
+        """Arm the streaming cursor at the first recorded ingress time."""
+        self._records = self.schedule.records()
+        self._cursor = 0
+        if self._records:
+            self.sim.schedule_at_front(self._records[0].ingress_time, self._advance)
+
+    def install_upfront(self) -> None:
+        """Reference implementation: pre-schedule one event per record.
+
+        Kept (and exercised by the determinism test suite) as the behavioural
+        specification the streaming cursor must match bit-for-bit; prefer
+        :meth:`install` everywhere else.
+        """
         for record in self.schedule.records():
             self.sim.schedule_at(record.ingress_time, self._inject, record)
+
+    def _advance(self) -> None:
+        """Inject every record due now, then reschedule at the next ingress time."""
+        records = self._records
+        total = len(records)
+        index = self._cursor
+        now = self.sim.now
+        inject = self._inject
+        while index < total and records[index].ingress_time <= now:
+            inject(records[index])
+            index += 1
+        self._cursor = index
+        if index < total:
+            self.sim.schedule_at_front(records[index].ingress_time, self._advance)
 
     def _inject(self, record: PacketRecord) -> None:
         packet = Packet(

@@ -13,10 +13,10 @@ in which the only per-router freedom is the scheduling logic itself.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 from repro.sim.packet import Packet
 
@@ -33,6 +33,10 @@ class Scheduler(ABC):
 
     def __init__(self) -> None:
         self._port: Optional["OutputPort"] = None
+        #: Outgoing-link rate, cached at attach time so per-enqueue key
+        #: functions (LSTF, EDF) compute transmission delays without walking
+        #: ``port.link`` for every packet.  ``None`` until attached.
+        self._link_bandwidth: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -40,6 +44,7 @@ class Scheduler(ABC):
     def attach(self, port: "OutputPort") -> None:
         """Bind the scheduler to the output port that owns it."""
         self._port = port
+        self._link_bandwidth = port.link.bandwidth_bps
 
     @property
     def port(self) -> Optional["OutputPort"]:
@@ -127,7 +132,13 @@ class PriorityScheduler(Scheduler):
         self._heap: List[Tuple[float, int, QueueEntry]] = []
         self._sequence = itertools.count()
         self._bytes = 0.0
-        self._removed: set = set()
+        self._removed: Set[int] = set()
+        # Ids of packets currently queued (heap entries not marked removed).
+        # Makes membership checks and arbitrary removals O(1) with lazy heap
+        # deletion; relies on packet ids being unique per simulation and on
+        # removed (dropped) packets never being re-enqueued — a stale heap
+        # entry for a re-enqueued id could otherwise swallow the live one.
+        self._queued_ids: Set[int] = set()
 
     @abstractmethod
     def key(self, packet: Packet, enqueue_time: float, now: float) -> float:
@@ -135,16 +146,25 @@ class PriorityScheduler(Scheduler):
 
     def enqueue(self, packet: Packet, now: float) -> None:
         entry = QueueEntry(packet, now)
-        heapq.heappush(self._heap, (self.key(packet, now, now), next(self._sequence), entry))
+        heappush(self._heap, (self.key(packet, now, now), next(self._sequence), entry))
         self._bytes += packet.size_bytes
+        self._queued_ids.add(packet.packet_id)
 
     def dequeue(self, now: float) -> Optional[Packet]:
         entry = self._pop_valid()
         if entry is None:
             return None
-        self._bytes -= entry.packet.size_bytes
-        self.on_dequeue(entry.packet, entry.enqueue_time, now)
-        return entry.packet
+        packet = entry.packet
+        self._queued_ids.discard(packet.packet_id)
+        self._bytes -= packet.size_bytes
+        if not self._queued_ids:
+            # Guard against float drift: summing and subtracting many packet
+            # sizes accumulates rounding error, so an empty queue could
+            # otherwise report a tiny non-zero byte count (and a finite
+            # buffer would slowly "shrink").  Empty queue == exactly zero.
+            self._bytes = 0.0
+        self.on_dequeue(packet, entry.enqueue_time, now)
+        return packet
 
     def on_dequeue(self, packet: Packet, enqueue_time: float, now: float) -> None:
         """Hook for dynamic-packet-state updates; default is a no-op."""
@@ -167,23 +187,32 @@ class PriorityScheduler(Scheduler):
         self._discard_removed()
         if not self._heap:
             return None
-        _, _, entry = heapq.heappop(self._heap)
+        _, _, entry = heappop(self._heap)
         return entry
 
     def _discard_removed(self) -> None:
-        while self._heap and self._heap[0][2].packet.packet_id in self._removed:
-            _, _, entry = heapq.heappop(self._heap)
-            self._removed.discard(entry.packet.packet_id)
+        heap = self._heap
+        removed = self._removed
+        while heap and heap[0][2].packet.packet_id in removed:
+            _, _, entry = heappop(heap)
+            removed.discard(entry.packet.packet_id)
 
     def remove(self, packet: Packet) -> bool:
-        for _, _, entry in self._heap:
-            if entry.packet.packet_id == packet.packet_id:
-                if packet.packet_id in self._removed:
-                    return False
-                self._removed.add(packet.packet_id)
-                self._bytes -= packet.size_bytes
-                return True
-        return False
+        """Remove a queued packet in O(1) (lazy heap deletion).
+
+        Membership is checked against the queued-id index, so drop policies
+        pay constant time instead of scanning the heap; the entry itself is
+        discarded when it reaches the heap top.
+        """
+        packet_id = packet.packet_id
+        if packet_id not in self._queued_ids:
+            return False
+        self._queued_ids.discard(packet_id)
+        self._removed.add(packet_id)
+        self._bytes -= packet.size_bytes
+        if not self._queued_ids:
+            self._bytes = 0.0
+        return True
 
     def queued_packets(self) -> List[Packet]:
         """Snapshot of queued packets (order unspecified); used by drop policies."""
@@ -202,7 +231,7 @@ class PriorityScheduler(Scheduler):
         ]
 
     def __len__(self) -> int:
-        return len(self._heap) - len(self._removed)
+        return len(self._queued_ids)
 
     @property
     def byte_count(self) -> float:

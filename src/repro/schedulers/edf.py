@@ -35,5 +35,7 @@ class EdfScheduler(PriorityScheduler):
             return deadline
         node = self.port.node
         tmin_remaining = node.network.tmin_remaining(packet, node.name)
-        transmission = self.port.link.transmission_delay(packet.size_bytes)
+        # Link rate cached at attach time; same float math as
+        # Link.transmission_delay.
+        transmission = packet.size_bytes * 8 / self._link_bandwidth
         return deadline - tmin_remaining + transmission

@@ -49,16 +49,18 @@ class LstfScheduler(PriorityScheduler):
     def __init__(self) -> None:
         super().__init__()
 
-    def _transmission_time(self, packet: Packet) -> float:
-        if self.port is None:
-            return 0.0
-        return self.port.link.transmission_delay(packet.size_bytes)
-
     def key(self, packet: Packet, enqueue_time: float, now: float) -> float:
+        # Runs once per enqueue on every port: the link rate is cached at
+        # attach time (same ``bytes * 8 / bandwidth`` float math as
+        # Link.transmission_delay) so this costs one multiply-divide, the
+        # per-packet constant factor of fine-grained priority scheduling.
         slack = packet.header.slack
         if slack is None:
             return math.inf
-        return slack + enqueue_time + self._transmission_time(packet)
+        bandwidth = self._link_bandwidth
+        if bandwidth is None:
+            return slack + enqueue_time
+        return slack + enqueue_time + packet.size_bytes * 8 / bandwidth
 
     def on_dequeue(self, packet: Packet, enqueue_time: float, now: float) -> None:
         # Dynamic packet state update: the packet "spent" the time it waited

@@ -4,13 +4,28 @@ The engine maintains a priority queue of :class:`~repro.sim.events.Event`
 objects and executes them in time order.  It is the substrate on which the
 packet-level network simulator (routers, links, transport protocols, traffic
 generators) is built, replacing the ns-2 simulator used by the paper.
+
+Hot-path design notes (this loop executes once per packet-hop-event, so the
+constant factor is the whole game — the same argument the paper makes for
+LSTF's per-packet cost in Section 5):
+
+* Heap entries are plain ``(time, sequence, event)`` tuples, not events.
+  CPython compares tuples of floats/ints entirely in C, so sift operations
+  never call back into :meth:`Event.__lt__` (previously ~10 comparisons per
+  push/pop, each allocating two tuples).
+* ``run()`` drives the heap directly with ``heappop`` bound to a local,
+  instead of delegating to :meth:`step` (two extra function calls and a
+  cancelled-scan per event).
+* Scheduling validation happens once at the API boundary
+  (:meth:`schedule`/:meth:`schedule_at`); the loop itself re-validates
+  nothing.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
-from typing import Any, Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.events import Event
 
@@ -29,30 +44,50 @@ class Simulator:
         sim.run(until=10.0)
 
     Attributes:
-        now: Current simulation time in seconds.
+        now: Current simulation time in seconds.  A plain attribute (not a
+            property) so hot paths read it without a descriptor call; treat
+            it as read-only — only the engine advances it.
     """
 
+    #: Process-wide count of events executed across *all* Simulator
+    #: instances.  Read (as a before/after delta) by the bench harness to
+    #: turn wall time into events/second; updated when ``run()`` returns and
+    #: on every ``step()``.
+    events_executed_total: int = 0
+
     def __init__(self) -> None:
-        self._now = 0.0
-        self._heap: List[Event] = []
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = 0
+        # Sequence numbers handed out by schedule_at_front(); they stay
+        # negative (and increasing) so front events sort before every
+        # normally scheduled event at the same timestamp while preserving
+        # FIFO order among themselves.
+        self._front_sequence = -(1 << 62)
         self._events_processed = 0
+        self._live_events = 0
         self._running = False
 
     @property
-    def now(self) -> float:
-        """Current simulation time (seconds)."""
-        return self._now
-
-    @property
     def events_processed(self) -> int:
-        """Total number of events executed so far."""
+        """Total number of events executed so far.
+
+        Updated when :meth:`run` returns (and on every :meth:`step`), not
+        mid-loop — callbacks should not read it during a run.
+        """
         return self._events_processed
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._heap)
+        """Number of *live* (non-cancelled) events still scheduled.
+
+        Cancelled events sit in the queue until lazy deletion discards them,
+        but they are excluded here: the counter is decremented by
+        :meth:`cancel`, by every :meth:`step`, and when :meth:`run` returns.
+        Like :attr:`events_processed` it is not maintained mid-``run()`` —
+        callbacks should not read it during a run.
+        """
+        return self._live_events
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
@@ -62,7 +97,13 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule with negative delay {delay}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self.now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, sequence, callback, args)
+        heappush(self._heap, (time, sequence, event))
+        self._live_events += 1
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args) -> Event:
         """Schedule ``callback(*args)`` to run at absolute simulation time ``time``.
@@ -70,29 +111,71 @@ class Simulator:
         Raises:
             SimulationError: if ``time`` is in the past.
         """
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time:.9f}, which is before now ({self._now:.9f})"
+                f"cannot schedule at {time:.9f}, which is before now ({self.now:.9f})"
             )
-        event = Event(time, self._sequence, callback, args)
-        self._sequence += 1
-        heapq.heappush(self._heap, event)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, sequence, callback, args)
+        heappush(self._heap, (time, sequence, event))
+        self._live_events += 1
+        return event
+
+    def schedule_at_front(self, time: float, callback: Callable[..., Any], *args) -> Event:
+        """Schedule ahead of every normally scheduled event at ``time``.
+
+        Events scheduled this way fire before any event created by
+        :meth:`schedule`/:meth:`schedule_at` for the same timestamp (and in
+        scheduling order among themselves).  The replay injector's streaming
+        cursor relies on this: the old schedule-everything-upfront injector's
+        injection events always carried lower sequence numbers than any
+        simulation event, so packet injections at time ``t`` preceded every
+        simulation event at ``t`` — front scheduling preserves that ordering
+        without pre-populating the heap.
+
+        Raises:
+            SimulationError: if ``time`` is in the past.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time:.9f}, which is before now ({self.now:.9f})"
+            )
+        sequence = self._front_sequence
+        self._front_sequence = sequence + 1
+        event = Event(time, sequence, callback, args)
+        heappush(self._heap, (time, sequence, event))
+        self._live_events += 1
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event (no-op if it already fired)."""
-        event.cancel()
+        """Cancel a previously scheduled event.
+
+        A no-op if the event was already cancelled *or already fired* (the
+        engine marks events as cancelled when it executes them, so a stale
+        handle cannot skew the live counter).  Cancellation is O(1) lazy
+        deletion: the event is only marked, and the queue discards it when it
+        reaches the top.  The live-event counter (:attr:`pending_events`) is
+        decremented immediately.  Always cancel through this method — calling
+        ``event.cancel()`` directly would skip the counter.
+        """
+        if not event.cancelled:
+            event.cancelled = True
+            self._live_events -= 1
 
     def peek_next_time(self) -> Optional[float]:
-        """Time of the next non-cancelled event, or ``None`` if the queue is empty."""
-        self._discard_cancelled()
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        """Time of the next live event, or ``None`` if no live event remains.
 
-    def _discard_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        Cancelled entries at the head of the queue are discarded in passing
+        (they are already dead, so the set of live events — and every
+        observable property — is unchanged).
+        """
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
+        if not heap:
+            return None
+        return heap[0][0]
 
     def step(self) -> bool:
         """Execute the next pending event.
@@ -100,14 +183,21 @@ class Simulator:
         Returns:
             ``True`` if an event was executed, ``False`` if the queue was empty.
         """
-        self._discard_cancelled()
-        if not self._heap:
-            return False
-        event = heapq.heappop(self._heap)
-        self._now = event.time
-        self._events_processed += 1
-        event.fire()
-        return True
+        heap = self._heap
+        while heap:
+            time, _, event = heappop(heap)
+            if event.cancelled:
+                continue
+            # Executed events are marked cancelled ("can no longer fire") so
+            # a later cancel() of a stale handle stays a counter-safe no-op.
+            event.cancelled = True
+            self.now = time
+            self._events_processed += 1
+            self._live_events -= 1
+            Simulator.events_executed_total += 1
+            event.callback(*event.args)
+            return True
+        return False
 
     def run(
         self,
@@ -127,17 +217,32 @@ class Simulator:
         self._running = True
         limit = math.inf if until is None else until
         budget = math.inf if max_events is None else max_events
+        # The loop body below is the simulator's innermost hot path: heap and
+        # heappop are bound to locals, cancelled events are discarded inline,
+        # and callbacks are invoked directly (no Event.fire indirection).
+        heap = self._heap
+        pop = heappop
+        executed = 0
         try:
-            executed = 0
-            while executed < budget:
-                self._discard_cancelled()
-                if not self._heap:
+            while heap and executed < budget:
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                if entry[0] > limit:
                     break
-                if self._heap[0].time > limit:
-                    break
-                self.step()
+                pop(heap)
+                # Mark as fired ("can no longer fire") so cancel() of a stale
+                # handle is a no-op and cannot skew the live counter.
+                event.cancelled = True
+                self.now = entry[0]
                 executed += 1
-            if until is not None and self._now < until:
-                self._now = until
+                event.callback(*event.args)
+            if until is not None and self.now < until:
+                self.now = until
         finally:
+            self._events_processed += executed
+            self._live_events -= executed
+            Simulator.events_executed_total += executed
             self._running = False

@@ -10,10 +10,17 @@ class Event:
 
     Events are ordered by ``(time, sequence_number)`` so that events scheduled
     for the same instant fire in the order they were scheduled, which keeps
-    simulations deterministic.
+    simulations deterministic.  The engine stores its heap entries as plain
+    ``(time, sequence, event)`` tuples so that heap sifts compare floats and
+    ints in C and never call :meth:`__lt__`; the comparison operator is kept
+    only for explicit sorting of event lists in user code.
 
     An event can be cancelled before it fires; cancelled events are skipped by
-    the engine (lazy deletion, so cancellation is O(1)).
+    the engine (lazy deletion, so cancellation is O(1)).  Cancel through
+    :meth:`repro.sim.engine.Simulator.cancel`, which also maintains the
+    engine's live-event counter.  The ``cancelled`` flag means "will not (or
+    can no longer) fire": the engine also sets it when it executes an event,
+    so cancelling a stale handle after its event fired is a safe no-op.
     """
 
     __slots__ = ("time", "sequence", "callback", "args", "cancelled")

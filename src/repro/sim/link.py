@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.utils.units import transmission_delay
-
 
 @dataclass(frozen=True)
 class Link:
@@ -48,8 +46,13 @@ class Link:
         return f"{self.src}->{self.dst}"
 
     def transmission_delay(self, size_bytes: float) -> float:
-        """Time to serialize a packet of ``size_bytes`` onto this link."""
-        return transmission_delay(size_bytes, self.bandwidth_bps)
+        """Time to serialize a packet of ``size_bytes`` onto this link.
+
+        Bandwidth was validated at construction, so no per-call checks: this
+        runs on scheduling hot paths (same formula as
+        :func:`repro.utils.units.transmission_delay`).
+        """
+        return size_bytes * 8 / self.bandwidth_bps
 
     def latency(self, size_bytes: float) -> float:
         """Store-and-forward latency of one packet over this link (no queueing)."""

@@ -61,20 +61,28 @@ class Node:
         Source-routed packets (``packet.route`` set) follow their recorded
         path; all other packets follow the network's routing tables.
         """
-        if packet.route:
-            try:
-                index = packet.route.index(self.name)
-            except ValueError:
-                raise RuntimeError(
-                    f"packet {packet.packet_id} source route {packet.route} does "
-                    f"not contain node {self.name}"
-                ) from None
-            if index + 1 >= len(packet.route):
+        route = packet.route
+        if route:
+            # The cursor tracks the packet's position along its route, so the
+            # common case (each node consulted once, in path order) is O(1);
+            # the list scan remains as the fallback for packets whose cursor
+            # is out of step (e.g. hand-built packets entering mid-route).
+            index = packet.route_cursor
+            if index >= len(route) or route[index] != self.name:
+                try:
+                    index = route.index(self.name)
+                except ValueError:
+                    raise RuntimeError(
+                        f"packet {packet.packet_id} source route {route} does "
+                        f"not contain node {self.name}"
+                    ) from None
+            if index + 1 >= len(route):
                 raise RuntimeError(
                     f"packet {packet.packet_id} reached the end of its source "
                     f"route at {self.name} but is destined to {packet.dst}"
                 )
-            return packet.route[index + 1]
+            packet.route_cursor = index + 1
+            return route[index + 1]
         return self.network.next_hop(self.name, packet.dst)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -87,7 +95,10 @@ class Router(Node):
     def receive(self, packet: Packet) -> None:
         packet.record_arrival(self.name, self.sim.now)
         next_hop = self.next_hop_for(packet)
-        self.port_to(next_hop).enqueue(packet)
+        port = self.ports.get(next_hop)
+        if port is None:
+            raise KeyError(f"{self.name} has no port towards {next_hop}")
+        port.enqueue(packet)
 
 
 class Host(Node):

@@ -154,6 +154,11 @@ class Packet:
     flow_deadline: Optional[float] = None
 
     # --- bookkeeping (not visible to schedulers in the formal model) ---
+    #: Index into ``route`` of the node currently expected to forward this
+    #: packet.  Advanced by ``Node.next_hop_for`` so each hop costs O(1)
+    #: instead of an O(path) ``list.index`` scan; purely an optimization
+    #: hint — a mismatch falls back to the scan.
+    route_cursor: int = 0
     ingress_time: Optional[float] = None
     egress_time: Optional[float] = None
     dropped: bool = False

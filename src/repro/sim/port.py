@@ -58,6 +58,16 @@ class OutputPort:
         self.buffer_bytes = buffer_bytes
         scheduler.attach(self)
 
+        # Hot-path caches: the transmission loop runs once per packet per
+        # hop, so link parameters are hoisted out of the per-packet path
+        # here (the float math itself is kept bit-identical to
+        # Link.transmission_delay: ``bytes * 8 / bandwidth``).  The
+        # destination node is resolved lazily on first transmission because
+        # ports are built while the topology is still being wired.
+        self._link_bandwidth = link.bandwidth_bps
+        self._link_propagation = link.propagation_delay
+        self._dst_receive = None
+
         self._busy = False
         self._current_packet: Optional[Packet] = None
         self._current_started: Optional[float] = None
@@ -131,7 +141,9 @@ class OutputPort:
     # Transmission loop
     # ------------------------------------------------------------------ #
     def _start_next(self) -> None:
-        packet = self.scheduler.dequeue(self.sim.now)
+        sim = self.sim
+        now = sim.now
+        packet = self.scheduler.dequeue(now)
         if packet is None:
             self._busy = False
             self._current_packet = None
@@ -141,36 +153,36 @@ class OutputPort:
 
         hop = packet.current_hop()
         if hop is not None and hop.start_service_time is None:
-            hop.start_service_time = self.sim.now
+            hop.start_service_time = now
             # Accumulate the queueing delay experienced at this node into the
             # packet header; FIFO+ prioritizes on this value at later hops.
-            packet.header.accumulated_wait += self.sim.now - hop.arrival_time
+            packet.header.accumulated_wait += now - hop.arrival_time
 
-        tx_bytes = (
-            packet.remaining_tx_bytes
-            if packet.remaining_tx_bytes is not None
-            else packet.size_bytes
-        )
-        tx_delay = self.link.transmission_delay(tx_bytes)
+        remaining = packet.remaining_tx_bytes
+        tx_bytes = remaining if remaining is not None else packet.size_bytes
+        tx_delay = tx_bytes * 8 / self._link_bandwidth
 
         self._busy = True
         self._current_packet = packet
-        self._current_started = self.sim.now
-        self._finish_event = self.sim.schedule(tx_delay, self._finish_transmission, packet)
+        self._current_started = now
+        self._finish_event = sim.schedule(tx_delay, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
         packet.remaining_tx_bytes = None
+        sim = self.sim
         hop = packet.current_hop()
         if hop is not None:
-            hop.departure_time = self.sim.now
+            hop.departure_time = sim.now
         self.packets_transmitted += 1
         self.bytes_transmitted += packet.size_bytes
 
         self.node.notify_departure(packet, self)
         # Deliver after the propagation delay; the downstream node receives
         # the packet fully assembled (store-and-forward).
-        destination = self.node.network.nodes[self.link.dst]
-        self.sim.schedule(self.link.propagation_delay, destination.receive, packet)
+        receive = self._dst_receive
+        if receive is None:
+            receive = self._dst_receive = self.node.network.nodes[self.link.dst].receive
+        sim.schedule(self._link_propagation, receive, packet)
 
         self._busy = False
         self._current_packet = None
@@ -190,7 +202,7 @@ class OutputPort:
             if packet.remaining_tx_bytes is not None
             else packet.size_bytes
         )
-        sent_bytes = elapsed * self.link.bandwidth_bps / 8.0
+        sent_bytes = elapsed * self._link_bandwidth / 8.0
         packet.remaining_tx_bytes = max(0.0, total_bytes - sent_bytes)
         # The packet goes back to the queue; its hop record will get a new
         # service-start time when it is next selected.

@@ -1,0 +1,212 @@
+"""Tests for the bench subsystem: harness, payload format, regression gate,
+and the ``python -m repro bench`` CLI verb."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_FORMAT,
+    BenchReport,
+    ExperimentBench,
+    bench_experiment,
+    bench_payload,
+    find_regressions,
+    load_bench,
+    rows_digest,
+    run_bench,
+    save_bench,
+    speedup_vs_baseline,
+)
+from repro.__main__ import main
+
+
+def _bench(name="table1", wall=1.0, digest="aa", events=1000):
+    return ExperimentBench(
+        experiment=name,
+        wall_time=wall,
+        events=events,
+        events_per_sec=events / wall,
+        cells=2,
+        cells_per_sec=2 / wall,
+        rows=2,
+        rows_digest=digest,
+        repeats=[wall],
+    )
+
+
+def _report(**benches):
+    report = BenchReport(scale="smoke", repeat=1)
+    for name, bench in benches.items():
+        report.results[name] = bench
+    return report
+
+
+class TestRowsDigest:
+    def test_stable_across_calls(self):
+        rows = [{"a": 1.5, "b": "x"}, {"a": 2.5, "b": "y"}]
+        assert rows_digest(rows) == rows_digest(list(rows))
+
+    def test_sensitive_to_float_changes(self):
+        base = [{"value": 0.1}]
+        same_bits = [{"value": 0.1 + 1e-18}]  # rounds back to the same double
+        one_ulp_off = [{"value": 0.1 + 2e-17}]  # the neighbouring double
+        assert rows_digest(base) == rows_digest(same_bits)
+        assert one_ulp_off[0]["value"] != base[0]["value"]
+        assert rows_digest(base) != rows_digest(one_ulp_off)
+
+    def test_sensitive_to_row_order(self):
+        rows = [{"a": 1}, {"a": 2}]
+        assert rows_digest(rows) != rows_digest(rows[::-1])
+
+
+class TestHarness:
+    def test_bench_experiment_smoke(self):
+        bench = bench_experiment("table1-priority", scale="smoke", repeat=2)
+        assert bench.experiment == "table1-priority"
+        assert bench.wall_time > 0
+        assert bench.events > 0
+        assert bench.events_per_sec > 0
+        assert bench.cells == 2
+        assert bench.rows == 2
+        assert len(bench.repeats) == 2
+        assert bench.wall_time == min(bench.repeats)
+
+    def test_repeats_are_deterministic(self):
+        first = bench_experiment("table1-priority", scale="smoke", repeat=1)
+        second = bench_experiment("table1-priority", scale="smoke", repeat=1)
+        assert first.rows_digest == second.rows_digest
+        assert first.events == second.events
+
+    def test_run_bench_report_roundtrip(self):
+        report = run_bench(["table1-priority"], scale="smoke", repeat=1)
+        clone = BenchReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()
+        assert "table1-priority" in report.format()
+
+    def test_rejects_bad_repeat(self):
+        with pytest.raises(ValueError):
+            bench_experiment("table1-priority", scale="smoke", repeat=0)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            bench_experiment("no-such-experiment", scale="smoke")
+
+
+class TestPayloadAndGate:
+    def test_payload_save_load_roundtrip(self, tmp_path):
+        payload = bench_payload(_report(table1=_bench()), label="test")
+        path = tmp_path / "bench.json"
+        save_bench(path, payload)
+        loaded = load_bench(path)
+        assert loaded["format"] == BENCH_FORMAT
+        assert loaded["label"] == "test"
+        assert loaded["results"]["table1"]["wall_time"] == 1.0
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+    def test_speedup_vs_baseline(self):
+        current = _report(table1=_bench(wall=1.0, events=1000))
+        baseline = {"table1": {"wall_time": 2.0, "events_per_sec": 500.0}}
+        speedups = speedup_vs_baseline(current, baseline)
+        assert speedups["table1"]["wall_time"] == pytest.approx(2.0)
+        assert speedups["table1"]["events_per_sec"] == pytest.approx(2.0)
+
+    def test_gate_passes_within_threshold(self):
+        current = _report(table1=_bench(wall=1.2))
+        reference = {"results": {"table1": {"wall_time": 1.0, "rows_digest": "aa"}}}
+        regressions, mismatches = find_regressions(current, reference, max_slowdown=0.25)
+        assert regressions == []
+        assert mismatches == []
+
+    def test_gate_flags_slowdown_beyond_threshold(self):
+        current = _report(table1=_bench(wall=1.5))
+        reference = {"results": {"table1": {"wall_time": 1.0, "rows_digest": "aa"}}}
+        regressions, _ = find_regressions(current, reference, max_slowdown=0.25)
+        assert len(regressions) == 1
+        assert regressions[0].experiment == "table1"
+        assert regressions[0].slowdown == pytest.approx(0.5)
+        assert "table1" in regressions[0].describe()
+
+    def test_gate_reports_digest_drift_separately(self):
+        current = _report(table1=_bench(wall=1.0, digest="bb"))
+        reference = {"results": {"table1": {"wall_time": 1.0, "rows_digest": "aa"}}}
+        regressions, mismatches = find_regressions(current, reference)
+        assert regressions == []
+        assert len(mismatches) == 1
+        assert "bb" in mismatches[0]
+
+    def test_gate_ignores_experiments_missing_from_reference(self):
+        current = _report(table1=_bench(wall=9.0))
+        regressions, mismatches = find_regressions(current, {"results": {}})
+        assert regressions == [] and mismatches == []
+
+
+class TestCli:
+    def test_bench_verb_writes_payload(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            ["bench", "table1-priority", "--scale", "smoke", "--out", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["format"] == BENCH_FORMAT
+        assert "table1-priority" in payload["results"]
+        assert "events/s" in capsys.readouterr().out
+
+    def test_bench_verb_check_passes_against_fresh_baseline(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "table1-priority", "--scale", "smoke", "--out", str(out)]) == 0
+        code = main(
+            [
+                "bench",
+                "table1-priority",
+                "--scale",
+                "smoke",
+                "--baseline",
+                str(out),
+                "--check",
+                "--max-slowdown",
+                "10.0",  # generous: CI machines are noisy
+            ]
+        )
+        assert code == 0
+        assert "perf gate OK" in capsys.readouterr().out
+
+    def test_bench_verb_check_fails_on_regression(self, tmp_path, capsys):
+        # Fabricate an impossibly fast baseline: any real run regresses.
+        baseline = bench_payload(
+            _report(**{"table1-priority": _bench(name="table1-priority", wall=1e-9)})
+        )
+        path = tmp_path / "baseline.json"
+        save_bench(path, baseline)
+        code = main(
+            [
+                "bench",
+                "table1-priority",
+                "--scale",
+                "smoke",
+                "--baseline",
+                str(path),
+                "--check",
+            ]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_bench_verb_check_requires_baseline(self, capsys):
+        code = main(["bench", "table1-priority", "--scale", "smoke", "--check"])
+        assert code == 2
+
+    def test_bench_verb_json_output(self, capsys):
+        code = main(["bench", "table1-priority", "--scale", "smoke", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == BENCH_FORMAT
+
+    def test_bench_verb_unknown_experiment(self, capsys):
+        assert main(["bench", "nope", "--scale", "smoke"]) == 2

@@ -110,3 +110,95 @@ def test_empty_run_leaves_clock_at_until():
     sim = Simulator()
     sim.run(until=3.0)
     assert sim.now == 3.0
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.cancel(first)
+    assert sim.pending_events == 1
+    # Cancelling twice must not decrement the live counter again.
+    sim.cancel(first)
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_fire_is_a_counter_safe_noop():
+    sim = Simulator()
+    fired_handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.pending_events == 0
+    # The event already fired: cancelling the stale handle must not push the
+    # live counter negative (via run() or step()).
+    sim.cancel(fired_handle)
+    assert sim.pending_events == 0
+    stepped_handle = sim.schedule(1.0, lambda: None)
+    assert sim.step()
+    sim.cancel(stepped_handle)
+    assert sim.pending_events == 0
+
+
+def test_pending_events_decrements_as_events_fire():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run(max_events=3)
+    assert sim.pending_events == 1
+
+
+def test_peek_next_time_does_not_change_live_events():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.cancel(first)
+    before = sim.pending_events
+    assert sim.peek_next_time() == 2.0
+    assert sim.pending_events == before
+    # Peeking again returns the same answer (idempotent).
+    assert sim.peek_next_time() == 2.0
+
+
+def test_schedule_at_front_precedes_same_time_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(1.0, fired.append, "normal-early")
+    sim.schedule_at_front(1.0, fired.append, "front")
+    sim.schedule_at(1.0, fired.append, "normal-late")
+    sim.run()
+    # The front event beats even normally scheduled events created *before*
+    # it, which is what lets the streaming replay cursor keep the upfront
+    # injector's injections-first ordering.
+    assert fired == ["front", "normal-early", "normal-late"]
+
+
+def test_schedule_at_front_orders_among_themselves():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at_front(1.0, fired.append, "first")
+    sim.schedule_at_front(1.0, fired.append, "second")
+    sim.schedule_at_front(0.5, fired.append, "earlier")
+    sim.run()
+    assert fired == ["earlier", "first", "second"]
+
+
+def test_schedule_at_front_rejects_past():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at_front(0.5, lambda: None)
+
+
+def test_events_executed_total_accumulates_across_simulators():
+    before = Simulator.events_executed_total
+    sim = Simulator()
+    for i in range(3):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    other = Simulator()
+    other.schedule(0.0, lambda: None)
+    assert other.step()
+    assert Simulator.events_executed_total - before == 4
