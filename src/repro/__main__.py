@@ -8,9 +8,12 @@ Subcommands:
       python -m repro run --all --workers 4
       python -m repro run table1 figure2 --scale smoke --json
 
-* ``list`` — show every registered experiment and its cells at a scale::
+* ``list`` — show every registered experiment and its cells at a scale (or
+  the workload / slack-policy registries)::
 
       python -m repro list --scale quick
+      python -m repro list --workloads
+      python -m repro list --slack-policies
 
 * ``record`` — record one scenario's original schedule to a file (the file
   carries the topology spec, so it is self-contained)::
@@ -18,9 +21,11 @@ Subcommands:
       python -m repro record I2-1G-10G@70 --out schedule.jsonl.gz
 
 * ``replay`` — replay a recorded schedule file under a candidate universal
-  scheduler and print the Table-1 metrics::
+  scheduler (optionally with heuristic slack initialization) and print the
+  Table-1 metrics::
 
       python -m repro replay schedule.jsonl.gz --mode lstf
+      python -m repro replay schedule.jsonl.gz --slack-policy deadline
 
 * ``bench`` — measure the record→replay hot path (wall time, events/sec,
   cells/sec per experiment), optionally writing a ``BENCH_*.json`` payload
@@ -98,6 +103,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             cache_dir=cache_dir,
             replicates=args.replicates,
             workload=args.workload,
+            slack_policy=args.slack_policy,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -143,8 +149,44 @@ def _workload_entries() -> List[dict]:
     return entries
 
 
+def _slack_policy_entries() -> List[dict]:
+    from repro.core.slack_policy import SLACK_POLICIES
+
+    entries = []
+    for definition in SLACK_POLICIES:
+        entries.append(
+            {
+                "name": definition.name,
+                "kind": definition.kind,
+                "params": definition.describe_params(),
+                "description": definition.description,
+            }
+        )
+    return entries
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.pipeline.experiment import default_registry
+
+    if args.slack_policies:
+        entries = _slack_policy_entries()
+        if args.json:
+            print(json.dumps(entries, indent=2))
+            return 0
+        name_width = max(len(e["name"]) for e in entries)
+        kind_width = max(len(e["kind"]) for e in entries)
+        params_width = max(len(e["params"]) for e in entries)
+        print(f"{len(entries)} slack polic(ies) in the registry:")
+        for entry in entries:
+            print(
+                f"  {entry['name']:<{name_width}}  {entry['kind']:<{kind_width}}  "
+                f"{entry['params']:<{params_width}}  {entry['description']}"
+            )
+        print(
+            "\nuse with `run <experiment> --slack-policy <name>`, "
+            "`replay --slack-policy <name>`, or via the heuristics group"
+        )
+        return 0
 
     if args.workloads:
         entries = _workload_entries()
@@ -219,7 +261,13 @@ def cmd_record(args: argparse.Namespace) -> int:
         "original": scenario.original,
         "seed": scenario.seed,
         "scale": args.scale,
-        "key": schedule_cache_key(topology, scenario.original, workload, scenario.seed),
+        "key": schedule_cache_key(
+            topology,
+            scenario.original,
+            workload,
+            scenario.seed,
+            slack_policy=scenario.slack_policy_def(),
+        ),
         "workload": workload_fingerprint(workload),
         "topology": topology.to_dict(),
         "mss": workload.mss,
@@ -248,6 +296,24 @@ def cmd_replay(args: argparse.Namespace) -> int:
         known = ", ".join(sorted(REPLAY_MODES))
         print(f"error: unknown replay mode {args.mode!r}; known: {known}", file=sys.stderr)
         return 2
+    initializer = None
+    if args.slack_policy is not None:
+        from repro.core.slack_policy import POLICY_COMPATIBLE_MODES, SLACK_POLICIES
+
+        try:
+            policy = SLACK_POLICIES.get(args.slack_policy)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        if args.mode not in POLICY_COMPATIBLE_MODES:
+            print(
+                f"error: slack policy {policy.name!r} cannot drive replay mode "
+                f"{args.mode!r}; compatible modes: "
+                f"{', '.join(POLICY_COMPATIBLE_MODES)}",
+                file=sys.stderr,
+            )
+            return 2
+        initializer = policy.build()
     try:
         schedule, meta = load_schedule(args.schedule)
     except (OSError, ValueError, gzip.BadGzipFile) as error:
@@ -268,11 +334,13 @@ def cmd_replay(args: argparse.Namespace) -> int:
         schedule,
         mode=args.mode,
         threshold_packet_bytes=float(meta.get("mss", 1460)),
+        initializer=initializer,
     )
     row = {
         "scenario": meta.get("scenario"),
         "original": meta.get("original"),
         "replay_mode": args.mode,
+        "slack_policy": args.slack_policy,
         "packets": result.metrics.total_packets,
         "fraction_overdue": result.overdue_fraction,
         "fraction_overdue_beyond_T": result.overdue_beyond_threshold_fraction,
@@ -401,6 +469,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="override every scenario's workload with a registry workload "
         "(see `list --workloads`)",
     )
+    run_parser.add_argument(
+        "--slack-policy",
+        default=None,
+        help="override every replay scenario's slack initialization with a "
+        "registry slack policy (see `list --slack-policies`)",
+    )
     scale_group.add_argument(
         "--quick", action="store_true", help="shorthand for --scale quick"
     )
@@ -414,6 +488,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the workload registry (name, group, distribution, "
         "perturbations, mean flow size) instead of experiments",
+    )
+    list_parser.add_argument(
+        "--slack-policies",
+        action="store_true",
+        help="list the slack-policy registry (name, kind, parameters) "
+        "instead of experiments",
     )
     list_parser.add_argument("--json", action="store_true", help="emit JSON")
     list_parser.set_defaults(func=cmd_list)
@@ -436,6 +516,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode",
         default="lstf",
         help="replay mode: lstf, lstf-preemptive, edf, priority, omniscient",
+    )
+    replay_parser.add_argument(
+        "--slack-policy",
+        default=None,
+        help="stamp headers with a registry slack policy instead of the "
+        "mode's recorded-schedule initializer (see `list --slack-policies`)",
     )
     replay_parser.add_argument("--json", action="store_true", help="emit JSON")
     replay_parser.set_defaults(func=cmd_replay)

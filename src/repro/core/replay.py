@@ -203,11 +203,23 @@ def replay_schedule(
     mode: str = "lstf",
     default_buffer_bytes: Optional[float] = None,
     max_events: Optional[int] = None,
+    initializer: Optional[ReplayInitializer] = None,
 ) -> Schedule:
     """Replay a recorded schedule on a fresh instance of ``topology``.
 
     Returns the replay's schedule, keyed by the *original* packet ids so it
     can be compared directly against ``schedule``.
+
+    Args:
+        topology: Topology to rebuild for the replay run.
+        schedule: The recorded original schedule supplying the traffic.
+        mode: Replay mode selecting the candidate scheduler (and, when
+            ``initializer`` is not given, the matching header initializer).
+        default_buffer_bytes: Buffer capacity (``None`` = infinite).
+        max_events: Safety valve forwarded to the engine.
+        initializer: Header initializer overriding the mode's default —
+            how slack-policy replays (:mod:`repro.core.slack_policy`) stamp
+            heuristic slack instead of recorded output times.
     """
     sim = Simulator()
     tracer = Tracer()
@@ -217,7 +229,9 @@ def replay_schedule(
         tracer=tracer,
         default_buffer_bytes=default_buffer_bytes,
     )
-    injector = ReplayInjector(sim, network, schedule, replay_initializer(mode))
+    if initializer is None:
+        initializer = replay_initializer(mode)
+    injector = ReplayInjector(sim, network, schedule, initializer)
     injector.install()
     # No feedback loops and no drops: the event queue drains once every
     # injected packet has exited, so run to completion.
@@ -232,6 +246,7 @@ def evaluate_replay(
     threshold: Optional[float] = None,
     threshold_packet_bytes: float = float(DEFAULT_MSS),
     default_buffer_bytes: Optional[float] = None,
+    initializer: Optional[ReplayInitializer] = None,
 ) -> ReplayResult:
     """Replay ``original`` with ``mode`` and compute the Table-1 metrics.
 
@@ -244,9 +259,15 @@ def evaluate_replay(
         threshold_packet_bytes: Packet size used for the default threshold.
         default_buffer_bytes: Buffer capacity in the replay network (``None``
             = infinite, the paper's setting).
+        initializer: Header initializer overriding the mode's default (see
+            :func:`replay_schedule`); used by slack-policy replays.
     """
     replayed = replay_schedule(
-        topology, original, mode=mode, default_buffer_bytes=default_buffer_bytes
+        topology,
+        original,
+        mode=mode,
+        default_buffer_bytes=default_buffer_bytes,
+        initializer=initializer,
     )
     if threshold is None:
         threshold = topology.bottleneck_transmission_time(threshold_packet_bytes)

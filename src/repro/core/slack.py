@@ -83,6 +83,117 @@ class OmniscientInitializer(ReplayInitializer):
 
 
 # ---------------------------------------------------------------------- #
+# Heuristic initializers (Section 3, applied to replayed traffic)
+# ---------------------------------------------------------------------- #
+# These stamp a replayed packet's header *without* consulting the recorded
+# output times: the recorded schedule only supplies the offered traffic
+# (ingress times, sizes, paths, flow deadlines), so a replay under one of
+# these initializers answers "what would LSTF/EDF have done on this exact
+# traffic with slack assigned by a practical heuristic?" — the paper's
+# Section-3 question, asked on the same packets the replay harness already
+# knows how to drive.  The registry in :mod:`repro.core.slack_policy` names
+# and parameterizes them for scenarios, cache keys, and the CLI.
+
+
+class ZeroSlackInitializer(ReplayInitializer):
+    """Delay-minimization heuristic: every packet starts with zero slack.
+
+    With equal (zero) initial slack, LSTF serves the packet that has been
+    queued longest — the limiting case of the constant-slack FIFO+ heuristic
+    of Section 3.2, aimed at minimizing worst-case queueing delay.  The real
+    flow deadline (when the workload tagged one) is kept in the header so
+    deadline-aware schedulers replaying the same traffic see it.
+    """
+
+    def initialize(self, packet: Packet, record: PacketRecord, network: Network) -> None:
+        packet.header.slack = 0.0
+        packet.header.deadline = record.deadline
+
+
+class StaticDelaySlackInitializer(ReplayInitializer):
+    """Tail-latency heuristic: one constant slack for every packet (FIFO+).
+
+    The replay-side counterpart of :class:`ConstantSlackPolicy`: each packet
+    of every flow receives the same ``slack_seconds`` budget at the ingress,
+    so LSTF degrades gracefully to FIFO+ ordering (serve the packet that has
+    accumulated the most queueing delay).  Section 3.2 uses 1 second.
+
+    Args:
+        slack_seconds: The per-flow constant slack in seconds.
+    """
+
+    def __init__(self, slack_seconds: float = 1.0) -> None:
+        if slack_seconds < 0:
+            raise ValueError(f"slack must be non-negative, got {slack_seconds}")
+        self.slack_seconds = slack_seconds
+
+    def initialize(self, packet: Packet, record: PacketRecord, network: Network) -> None:
+        packet.header.slack = self.slack_seconds
+        packet.header.deadline = record.deadline
+
+
+class DeadlineSlackInitializer(ReplayInitializer):
+    """Deadline-driven slack: deadline minus the ideal bottleneck residual.
+
+    For a packet of a deadline-tagged flow the initializer computes how much
+    queueing the flow can still absorb and meet its deadline:
+
+        ``slack(p) = deadline(p) - i(p) - residual(p)``
+
+    where ``residual(p)`` is the *ideal* time the flow's remaining bytes need
+    on the network's bottleneck link
+    (:meth:`~repro.sim.network.Network.bottleneck_transmission_time` of the
+    flow size — the same quantity
+    :meth:`repro.topology.base.Topology.bottleneck_transmission_time` exposes
+    on topology specs).  Flows closer to their deadline, relative to the work
+    they still represent, get less slack and are served first; an infeasible
+    deadline yields negative slack, i.e. maximal urgency.  This is the
+    paper's Section-3 deadline heuristic, and the slack assignment that
+    joint deadline/priority scheduling formulations (Raviv & Leshem) arrive
+    at as well.
+
+    Untagged flows receive the constant ``no_deadline_slack`` (seconds), so
+    background traffic keeps FIFO+ ordering among itself and yields to any
+    deadline flow that is at risk.
+
+    Args:
+        no_deadline_slack: Slack (seconds) for packets of flows that carry
+            no deadline.
+    """
+
+    def __init__(self, no_deadline_slack: float = 1.0) -> None:
+        if no_deadline_slack < 0:
+            raise ValueError(
+                f"no-deadline slack must be non-negative, got {no_deadline_slack}"
+            )
+        self.no_deadline_slack = no_deadline_slack
+        # Per-network bottleneck cache: initialize() runs once per injected
+        # packet on the replay hot path, and the network's bottleneck scan
+        # is O(links) — resolve it once per network instead of per packet.
+        self._bottleneck_network: Optional[Network] = None
+        self._bottleneck_bps: float = 0.0
+
+    def initialize(self, packet: Packet, record: PacketRecord, network: Network) -> None:
+        deadline = record.deadline
+        packet.header.deadline = deadline
+        if deadline is None:
+            packet.header.slack = self.no_deadline_slack
+            return
+        flow_bytes = record.flow_size_bytes
+        if flow_bytes is None:
+            flow_bytes = record.size_bytes
+        if network is not self._bottleneck_network:
+            self._bottleneck_network = network
+            self._bottleneck_bps = min(
+                link.bandwidth_bps for link in network.links.values()
+            )
+        # Same float form as Network.bottleneck_transmission_time
+        # (transmission_delay: bytes * 8 / bandwidth) — bit-identical result.
+        residual = flow_bytes * BITS_PER_BYTE / self._bottleneck_bps
+        packet.header.slack = deadline - record.ingress_time - residual
+
+
+# ---------------------------------------------------------------------- #
 # Live heuristics (Section 3)
 # ---------------------------------------------------------------------- #
 class SlackPolicy(ABC):

@@ -1,0 +1,215 @@
+"""The slack-policy registry: named, parameterized slack initialization.
+
+LSTF is one mechanism with many personalities: everything interesting about
+it lives in how each packet's slack is initialized at the ingress.  Section 2
+of the paper initializes slack from a recorded schedule (replay); Section 3
+replaces the recording with practical heuristics (zero slack for delay
+minimization, deadline-minus-residual for deadline traffic, a per-flow
+constant for FIFO+-style tail latency) and shows LSTF remains competitive.
+
+A :class:`SlackPolicyDef` captures one such initialization scheme as plain
+data — a ``kind`` naming the :class:`~repro.core.slack.ReplayInitializer`
+implementation plus keyword parameters — mirroring the
+:mod:`repro.traffic.registry` pattern: definitions are frozen, hashable,
+picklable value objects with a lossless ``to_dict``/``from_dict`` round-trip,
+so they can feed the schedule cache's content hash, ship to pool workers,
+and be listed by the CLI (``python -m repro list --slack-policies``).
+
+The global :data:`SLACK_POLICIES` registry ships four built-in policies:
+
+========== ============================================================
+``replay``       the Section-2 black-box replay initialization
+                 (``o(p) - i(p) - tmin``) — today's default behaviour
+``zero``         zero slack for every packet (delay minimization)
+``deadline``     flow deadline minus the ideal bottleneck residual
+                 (deadline traffic first; untagged flows get a constant)
+``static-delay`` one constant slack per flow (LSTF as FIFO+)
+========== ============================================================
+
+A :class:`~repro.pipeline.scenario.Scenario` references a policy by name via
+its ``slack_policy`` field; when the field is ``None`` nothing changes —
+cache keys, replay behaviour, and every pre-existing experiment are
+bit-identical to the policy-less pipeline (pinned by the golden-key tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple, Type
+
+from repro.core.slack import (
+    BlackBoxSlackInitializer,
+    DeadlineSlackInitializer,
+    ReplayInitializer,
+    StaticDelaySlackInitializer,
+    ZeroSlackInitializer,
+)
+
+#: Initializer constructors by serialization kind.
+POLICY_KINDS: Dict[str, Callable[..., ReplayInitializer]] = {
+    "replay": BlackBoxSlackInitializer,
+    "zero": ZeroSlackInitializer,
+    "deadline": DeadlineSlackInitializer,
+    "static-delay": StaticDelaySlackInitializer,
+}
+
+#: Replay modes a slack policy can drive.  Policies stamp ``header.slack``
+#: (and the real flow deadline); the omniscient and static-priority modes
+#: read other header fields that only the recorded schedule can supply.
+POLICY_COMPATIBLE_MODES: Tuple[str, ...] = ("lstf", "lstf-preemptive", "edf")
+
+
+@dataclass(frozen=True)
+class SlackPolicyDef:
+    """One named slack-initialization policy as plain data.
+
+    Attributes:
+        name: Registry key (what scenarios and the CLI reference).
+        kind: Initializer kind (a key of :data:`POLICY_KINDS`).
+        params: Keyword parameters for the initializer, as a sorted tuple of
+            ``(name, value)`` pairs so definitions stay hashable/picklable.
+        description: One-line summary shown by ``python -m repro list
+            --slack-policies``.
+    """
+
+    name: str
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("slack-policy definitions need a non-empty name")
+        if self.kind not in POLICY_KINDS:
+            known = ", ".join(sorted(POLICY_KINDS))
+            raise ValueError(f"unknown slack-policy kind {self.kind!r}; known: {known}")
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    # ------------------------------------------------------------------ #
+    # Materialization
+    # ------------------------------------------------------------------ #
+    def build(self) -> ReplayInitializer:
+        """Instantiate the header initializer this policy describes."""
+        return POLICY_KINDS[self.kind](**dict(self.params))
+
+    def describe_params(self) -> str:
+        """Comma-joined ``name=value`` parameter summary (``"-"`` when bare)."""
+        if not self.params:
+            return "-"
+        return ", ".join(
+            f"{name}={value:g}" if isinstance(value, float) else f"{name}={value}"
+            for name, value in self.params
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> dict:
+        """The behavioral fields only — what feeds the schedule-cache hash.
+
+        Restricted to ``kind`` and ``params`` (mirroring
+        :func:`repro.pipeline.cache.workload_fingerprint`): renaming a
+        policy or rewording its description must never invalidate cache
+        entries, because neither changes what the initializer does.
+        """
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-serializable form (registry/CLI round-trips)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SlackPolicyDef":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            kind=data["kind"],
+            params=tuple(data.get("params", {}).items()),
+            description=data.get("description", ""),
+        )
+
+
+class SlackPolicyRegistry:
+    """Maps slack-policy names to their definitions, in registration order."""
+
+    def __init__(self) -> None:
+        self._definitions: Dict[str, SlackPolicyDef] = {}
+
+    def register(self, definition: SlackPolicyDef) -> SlackPolicyDef:
+        """Add (or replace) a definition; returns it for chaining."""
+        self._definitions[definition.name] = definition
+        return definition
+
+    def get(self, name: str) -> SlackPolicyDef:
+        """The definition for ``name`` (KeyError listing known names if absent)."""
+        try:
+            return self._definitions[name]
+        except KeyError:
+            known = ", ".join(sorted(self._definitions))
+            raise KeyError(f"unknown slack policy {name!r}; known: {known}") from None
+
+    def names(self) -> List[str]:
+        """All registered policy names, in registration order."""
+        return list(self._definitions)
+
+    def definitions(self) -> List[SlackPolicyDef]:
+        """All registered definitions, in registration order."""
+        return list(self._definitions.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._definitions
+
+    def __len__(self) -> int:
+        return len(self._definitions)
+
+    def __iter__(self):
+        return iter(self._definitions.values())
+
+
+#: The process-wide slack-policy registry (populated below at import time).
+SLACK_POLICIES = SlackPolicyRegistry()
+
+
+def register_slack_policy(definition: SlackPolicyDef) -> SlackPolicyDef:
+    """Register ``definition`` in the global registry."""
+    return SLACK_POLICIES.register(definition)
+
+
+# ---------------------------------------------------------------------- #
+# Built-in definitions
+# ---------------------------------------------------------------------- #
+register_slack_policy(
+    SlackPolicyDef(
+        name="replay",
+        kind="replay",
+        description="black-box replay slack o(p) - i(p) - tmin (Section 2; the default)",
+    )
+)
+register_slack_policy(
+    SlackPolicyDef(
+        name="zero",
+        kind="zero",
+        description="zero slack for every packet: delay minimization (Section 3.2 limit)",
+    )
+)
+register_slack_policy(
+    SlackPolicyDef(
+        name="deadline",
+        kind="deadline",
+        params=(("no_deadline_slack", 1.0),),
+        description="deadline minus ideal bottleneck residual; untagged flows get 1s",
+    )
+)
+register_slack_policy(
+    SlackPolicyDef(
+        name="static-delay",
+        kind="static-delay",
+        params=(("slack_seconds", 1.0),),
+        description="per-flow constant slack (LSTF as FIFO+, Section 3.2)",
+    )
+)

@@ -20,6 +20,7 @@ from repro.experiments.figure4 import (
     run_fairness_scenario,
     run_figure4,
 )
+from repro.experiments.heuristics import heuristics_scenarios, run_heuristics
 from repro.experiments.runner import (
     EXPERIMENTS,
     format_result,
@@ -59,6 +60,8 @@ __all__ = [
     "run_omniscient_ablation",
     "run_adversarial",
     "adversarial_scenarios",
+    "run_heuristics",
+    "heuristics_scenarios",
     "EXPERIMENTS",
     "run_all",
     "run_all_summary",

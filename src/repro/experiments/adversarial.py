@@ -31,6 +31,7 @@ from repro.pipeline.scenario import (
     Scenario,
     Sweep,
     expand_replicates,
+    override_slack_policy,
     override_workload,
 )
 from repro.traffic.registry import WORKLOADS
@@ -100,16 +101,19 @@ class AdversarialDefinition(ExperimentDef):
 
     supports_workload = True
     supports_replicates = True
+    supports_slack_policy = True
 
     def __init__(
         self,
         scenarios: Optional[Tuple[Scenario, ...]] = None,
         replicates: int = 1,
         workload: Optional[str] = None,
+        slack_policy: Optional[str] = None,
     ) -> None:
         self._scenarios = scenarios
         self.replicates = replicates
         self.workload = workload
+        self.slack_policy = slack_policy
 
     def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
         base = (
@@ -122,6 +126,8 @@ class AdversarialDefinition(ExperimentDef):
             # Filter to the requested workload when it is part of the group;
             # otherwise pin every scenario onto it (a true override).
             base = matching if matching else override_workload(base, self.workload)
+        if self.slack_policy is not None:
+            base = override_slack_policy(base, self.slack_policy)
         return expand_replicates(base, self.replicates)
 
     def cells(self, scale: ExperimentScale) -> List[Cell]:

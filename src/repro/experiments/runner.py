@@ -23,6 +23,7 @@ from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
+from repro.experiments.heuristics import run_heuristics
 from repro.experiments.table1 import run_priority_comparison, run_table1
 from repro.pipeline.runner import RunSummary, run_pipeline
 
@@ -42,6 +43,7 @@ EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentScale]], ExperimentResult]] 
     "ablation-edf": run_edf_equivalence,
     "ablation-omniscient": run_omniscient_ablation,
     "adversarial": run_adversarial,
+    "heuristics": run_heuristics,
 }
 
 

@@ -34,7 +34,13 @@ from repro.pipeline.experiment import (
     replay_scenario,
 )
 from repro.pipeline.runner import run_experiment
-from repro.pipeline.scenario import Scenario, Sweep, expand_replicates, override_workload
+from repro.pipeline.scenario import (
+    Scenario,
+    Sweep,
+    expand_replicates,
+    override_slack_policy,
+    override_workload,
+)
 
 #: Table-1 rows are now declarative pipeline scenarios rather than closures
 #: over live topology builders.  This alias keeps the ``ReplayScenario`` name
@@ -172,16 +178,19 @@ class Table1Definition(ExperimentDef):
 
     supports_workload = True
     supports_replicates = True
+    supports_slack_policy = True
 
     def __init__(
         self,
         scenarios: Optional[Tuple[Scenario, ...]] = None,
         replicates: int = 1,
         workload: Optional[str] = None,
+        slack_policy: Optional[str] = None,
     ) -> None:
         self._scenarios = scenarios
         self.replicates = replicates
         self.workload = workload
+        self.slack_policy = slack_policy
 
     def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
         base = (
@@ -191,6 +200,8 @@ class Table1Definition(ExperimentDef):
         )
         if self.workload is not None:
             base = override_workload(base, self.workload)
+        if self.slack_policy is not None:
+            base = override_slack_policy(base, self.slack_policy)
         return expand_replicates(base, self.replicates)
 
     def cells(self, scale: ExperimentScale) -> List[Cell]:

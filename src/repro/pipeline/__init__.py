@@ -51,6 +51,7 @@ from repro.pipeline.scenario import (
     WORKLOAD_FACTORIES,
     Scenario,
     Sweep,
+    override_slack_policy,
     override_workload,
 )
 
@@ -67,6 +68,7 @@ __all__ = [
     "WORKLOAD_FACTORIES",
     "aggregate_replicate_rows",
     "default_registry",
+    "override_slack_policy",
     "override_workload",
     "record_scenario_schedule",
     "register_experiment",

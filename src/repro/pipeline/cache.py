@@ -73,14 +73,31 @@ def schedule_cache_key(
     original: str,
     workload: WorkloadSpec,
     seed: int,
+    slack_policy=None,
 ) -> str:
-    """Content hash of (topology, original scheduler, workload, seed)."""
+    """Content hash of (topology, original scheduler, workload, seed[, policy]).
+
+    ``slack_policy`` (a :class:`~repro.core.slack_policy.SlackPolicyDef`, or
+    ``None``) enters the hash only when set — exactly like workload
+    perturbations — so every policy-less cell's key is bit-identical to the
+    keys recorded before the slack-policy subsystem existed (pinned by the
+    golden-key regression test), while cells replayed under a heuristic
+    policy can never be mistaken for, or collide with, the default replay.
+    Only the policy's behavioral fingerprint (kind + params) is hashed —
+    renaming or re-describing a policy does not invalidate entries.  The
+    recorded artifact itself does not depend on the policy, so two cells
+    differing only in policy re-record identical baselines; that redundancy
+    is the deliberate price of keys that identify the cell's full
+    provenance.
+    """
     payload = {
         "topology": topology.to_dict(),
         "original": str(original),
         "workload": workload_fingerprint(workload),
         "seed": seed,
     }
+    if slack_policy is not None:
+        payload["slack_policy"] = slack_policy.fingerprint()
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
@@ -149,6 +166,7 @@ class ScheduleCache:
         workload: WorkloadSpec,
         seed: int,
         recorder: Callable[[], Schedule],
+        slack_policy=None,
     ) -> Tuple[Schedule, str]:
         """Fetch the schedule for this cell, recording it on first use.
 
@@ -159,11 +177,13 @@ class ScheduleCache:
             seed: Workload seed.
             recorder: Zero-argument callable that records and returns the
                 schedule; only invoked on a cache miss.
+            slack_policy: The cell's slack-policy definition, if any; hashed
+                into the key (see :func:`schedule_cache_key`).
 
         Returns:
             ``(schedule, key)``.
         """
-        key = schedule_cache_key(topology, original, workload, seed)
+        key = schedule_cache_key(topology, original, workload, seed, slack_policy)
         schedule = self._memory.get(key)
         if schedule is not None:
             self._memory.move_to_end(key)
@@ -186,6 +206,8 @@ class ScheduleCache:
                 "workload": workload_fingerprint(workload),
                 "topology": topology.to_dict(),
             }
+            if slack_policy is not None:
+                meta["slack_policy"] = slack_policy.to_dict()
             save_schedule(path, schedule, meta=meta)
         return schedule, key
 

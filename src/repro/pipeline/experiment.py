@@ -96,8 +96,17 @@ class ExperimentDef(ABC):
     #: Whether this experiment honors the ``replicates`` attribute
     #: (seed replicates set by :meth:`with_replicates` / ``--replicates``).
     supports_replicates: bool = False
+    #: Whether this experiment honors the ``slack_policy`` attribute (set by
+    #: :meth:`with_slack_policy` / the ``--slack-policy`` CLI override).
+    #: Definitions that opt in must apply ``self.slack_policy`` when
+    #: expanding scenarios (:func:`~repro.pipeline.scenario
+    #: .override_slack_policy`); the runner notes unsupported experiments
+    #: instead of silently ignoring the override.
+    supports_slack_policy: bool = False
     #: Registry workload overriding every scenario (``None`` = keep as-is).
     workload: Optional[str] = None
+    #: Registry slack policy overriding every scenario (``None`` = keep as-is).
+    slack_policy: Optional[str] = None
     #: Seed replicates per scenario.
     replicates: int = 1
 
@@ -107,6 +116,14 @@ class ExperimentDef(ABC):
 
         clone = copy.copy(self)
         clone.workload = workload
+        return clone
+
+    def with_slack_policy(self, slack_policy: str) -> "ExperimentDef":
+        """A copy of this definition pinned to one registry slack policy."""
+        import copy
+
+        clone = copy.copy(self)
+        clone.slack_policy = slack_policy
         return clone
 
     def with_replicates(self, replicates: int) -> "ExperimentDef":
@@ -156,13 +173,16 @@ def scenario_cache_key(scenario: Scenario) -> str:
 
     Computed from plain specs (no simulation runs), so the runner can plan
     recording work — deduplicating cells that share one original schedule —
-    before fanning anything out to workers.
+    before fanning anything out to workers.  Scenarios pinned to a slack
+    policy hash the policy's serialized form into their key; policy-less
+    scenarios hash exactly what they always did.
     """
     return schedule_cache_key(
         scenario.build_topology(),
         scenario.original,
         scenario.workload(),
         scenario.seed,
+        slack_policy=scenario.slack_policy_def(),
     )
 
 
@@ -191,22 +211,44 @@ def replay_scenario(
     the original schedule comes from the content-addressed cache, so cells
     sharing a scenario (e.g. the same schedule replayed under LSTF and under
     simple priorities) record it only once.
+
+    When the scenario carries a ``slack_policy``, the policy's initializer
+    replaces the replay mode's default header initialization (heuristic
+    slack instead of recorded output times); the mode must then be one of
+    :data:`~repro.core.slack_policy.POLICY_COMPATIBLE_MODES`, since the
+    omniscient and static-priority modes read header fields only the
+    recorded schedule can supply.
     """
     cache = cache if cache is not None else ScheduleCache()
     topology = scenario.build_topology()
     workload = scenario.workload()
+    policy = scenario.slack_policy_def()
+    resolved_mode = mode or scenario.replay_mode
+    initializer = None
+    if policy is not None:
+        from repro.core.slack_policy import POLICY_COMPATIBLE_MODES
+
+        if resolved_mode not in POLICY_COMPATIBLE_MODES:
+            raise ValueError(
+                f"scenario {scenario.name}: slack policy {policy.name!r} cannot "
+                f"drive replay mode {resolved_mode!r}; compatible modes: "
+                f"{', '.join(POLICY_COMPATIBLE_MODES)}"
+            )
+        initializer = policy.build()
     schedule, _ = cache.get_or_record(
         topology=topology,
         original=scenario.original,
         workload=workload,
         seed=scenario.seed,
         recorder=lambda: record_scenario_schedule(scenario, topology, workload),
+        slack_policy=policy,
     )
     return evaluate_replay(
         topology,
         schedule,
-        mode=mode or scenario.replay_mode,
+        mode=resolved_mode,
         threshold_packet_bytes=float(workload.mss),
+        initializer=initializer,
     )
 
 

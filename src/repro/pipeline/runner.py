@@ -152,12 +152,16 @@ def _worker_record(payload: Tuple[str, Scenario]) -> int:
     misses_before = _WORKER_CACHE.misses
     topology = scenario.build_topology()
     workload = scenario.workload()
+    # The slack policy must flow into the key here exactly as it does in
+    # scenario_cache_key/replay_scenario, or phase-1 recordings would land
+    # under a different entry than the phase-2 replays look up.
     _WORKER_CACHE.get_or_record(
         topology=topology,
         original=scenario.original,
         workload=workload,
         seed=scenario.seed,
         recorder=lambda: record_scenario_schedule(scenario, topology, workload),
+        slack_policy=scenario.slack_policy_def(),
     )
     return _WORKER_CACHE.misses - misses_before
 
@@ -221,6 +225,7 @@ def run_pipeline(
     registry: Optional[ScenarioRegistry] = None,
     replicates: int = 1,
     workload: Optional[str] = None,
+    slack_policy: Optional[str] = None,
 ) -> RunSummary:
     """Run experiments, optionally fanning their cells across processes.
 
@@ -238,6 +243,9 @@ def run_pipeline(
         workload: Workload-registry name overriding every scenario's
             workload, for experiments that support it (``python -m repro run
             ... --workload <name>``).
+        slack_policy: Slack-policy registry name overriding every scenario's
+            replay initialization, for experiments that support it
+            (``python -m repro run ... --slack-policy <name>``).
 
     Returns:
         A :class:`RunSummary` with per-experiment results merged in cell
@@ -254,6 +262,7 @@ def run_pipeline(
     notes: List[str] = []
     unreplicated: List[str] = []
     unworkloaded: List[str] = []
+    unpolicied: List[str] = []
     for name in selected:
         definition = registry.get(name)
         if workload is not None:
@@ -261,6 +270,11 @@ def run_pipeline(
                 definition = definition.with_workload(workload)
             else:
                 unworkloaded.append(name)
+        if slack_policy is not None:
+            if definition.supports_slack_policy:
+                definition = definition.with_slack_policy(slack_policy)
+            else:
+                unpolicied.append(name)
         if replicates > 1:
             if definition.supports_replicates:
                 definition = definition.with_replicates(replicates)
@@ -276,6 +290,11 @@ def run_pipeline(
         notes.append(
             f"workload={workload!r} not supported by: {', '.join(unworkloaded)} "
             "(those experiments kept their own workloads)"
+        )
+    if unpolicied:
+        notes.append(
+            f"slack_policy={slack_policy!r} not supported by: {', '.join(unpolicied)} "
+            "(those experiments kept their default replay initialization)"
         )
 
     tasks: List[Tuple[ExperimentDef, Cell]] = []

@@ -79,6 +79,11 @@ class Scenario:
         transport: ``"udp"`` (the paper's replay setting) or ``"tcp"``.
         workload_name: Key into the workload registry
             (:data:`repro.traffic.registry.WORKLOADS`).
+        slack_policy: Key into the slack-policy registry
+            (:data:`repro.core.slack_policy.SLACK_POLICIES`) selecting how
+            replayed packets' slack is initialized; ``None`` keeps the
+            replay mode's own initializer (the pre-policy behaviour, with
+            bit-identical cache keys).
     """
 
     name: str
@@ -94,6 +99,7 @@ class Scenario:
     seed_override: Optional[int] = None
     transport: str = "udp"
     workload_name: str = "paper-default"
+    slack_policy: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Derived quantities
@@ -131,6 +137,17 @@ class Scenario:
     def workload_def(self):
         """This scenario's :class:`~repro.traffic.registry.WorkloadDef`."""
         return WORKLOADS.get(self.workload_name)
+
+    def slack_policy_def(self):
+        """This scenario's :class:`~repro.core.slack_policy.SlackPolicyDef`.
+
+        ``None`` when the scenario uses the replay mode's own initializer.
+        """
+        if self.slack_policy is None:
+            return None
+        from repro.core.slack_policy import SLACK_POLICIES
+
+        return SLACK_POLICIES.get(self.slack_policy)
 
     def workload(self) -> WorkloadSpec:
         """The workload for this scenario (distribution + perturbations)."""
@@ -213,6 +230,35 @@ def override_workload(scenarios: Sequence[Scenario], workload_name: str) -> List
                     scenario,
                     workload_name=workload_name,
                     name=f"{scenario.name}+{workload_name}",
+                )
+            )
+    return out
+
+
+def override_slack_policy(
+    scenarios: Sequence[Scenario], policy_name: str
+) -> List[Scenario]:
+    """Pin every scenario to ``policy_name`` (``--slack-policy`` CLI override).
+
+    Mirrors :func:`override_workload`: scenarios already on that policy keep
+    their names; overridden ones get a ``+slack:<name>`` suffix so their rows
+    (and cache entries) cannot be mistaken for the default replay's.  The
+    name is validated against the registry up front so typos fail before
+    anything runs.
+    """
+    from repro.core.slack_policy import SLACK_POLICIES
+
+    SLACK_POLICIES.get(policy_name)  # raises KeyError listing known policies
+    out: List[Scenario] = []
+    for scenario in scenarios:
+        if scenario.slack_policy == policy_name:
+            out.append(scenario)
+        else:
+            out.append(
+                replace(
+                    scenario,
+                    slack_policy=policy_name,
+                    name=f"{scenario.name}+slack:{policy_name}",
                 )
             )
     return out

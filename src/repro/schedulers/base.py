@@ -235,4 +235,5 @@ class PriorityScheduler(Scheduler):
 
     @property
     def byte_count(self) -> float:
+        """Total bytes currently queued (maintained incrementally)."""
         return self._bytes

@@ -89,4 +89,5 @@ class DrrScheduler(Scheduler):
 
     @property
     def byte_count(self) -> float:
+        """Total bytes currently queued across all per-flow queues."""
         return self._bytes

@@ -41,4 +41,5 @@ class FifoScheduler(Scheduler):
 
     @property
     def byte_count(self) -> float:
+        """Total bytes currently queued."""
         return self._bytes

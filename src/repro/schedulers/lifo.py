@@ -45,4 +45,5 @@ class LifoScheduler(Scheduler):
 
     @property
     def byte_count(self) -> float:
+        """Total bytes currently queued."""
         return self._bytes

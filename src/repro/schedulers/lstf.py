@@ -2,10 +2,20 @@
 
 Every packet carries a slack value in its header: the amount of queueing time
 it can still tolerate without violating its target output time.  The slack is
-initialized at the ingress (by the replay engine or by one of the practical
-heuristics of Section 3) and is decremented at every hop by the time the
+initialized at the ingress and is decremented at every hop by the time the
 packet waited in that hop's queue before being transmitted (dynamic packet
 state).  Each router serves the packet with the least remaining slack.
+
+The scheduler itself never knows *where* the slack came from — that is the
+whole point of the paper's design, and of this repo's slack-policy subsystem:
+the same ``LstfScheduler`` serves Section-2 replays (slack computed from a
+recorded schedule by :class:`~repro.core.slack.BlackBoxSlackInitializer`),
+the Section-3 heuristics (zero / constant / deadline-driven slack, named and
+parameterized by :data:`repro.core.slack_policy.SLACK_POLICIES` and selected
+per scenario via ``slack_policy=`` or ``--slack-policy``), and the live
+send-time policies (:class:`~repro.core.slack.SlackPolicy`) used by the
+Figure 2-4 experiments.  A negative initial slack (an already-infeasible
+deadline) is legal and simply means maximal urgency.
 
 Two variants are provided:
 

@@ -49,4 +49,5 @@ class RandomScheduler(Scheduler):
 
     @property
     def byte_count(self) -> float:
+        """Total bytes currently queued."""
         return self._bytes

@@ -108,6 +108,7 @@ class FlowAwarePriorityScheduler(Scheduler):
 
     @property
     def byte_count(self) -> float:
+        """Total bytes currently queued."""
         return self._bytes
 
 

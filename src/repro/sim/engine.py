@@ -127,12 +127,17 @@ class Simulator:
 
         Events scheduled this way fire before any event created by
         :meth:`schedule`/:meth:`schedule_at` for the same timestamp (and in
-        scheduling order among themselves).  The replay injector's streaming
-        cursor relies on this: the old schedule-everything-upfront injector's
+        scheduling order among themselves): front events draw sequence
+        numbers from a separate, negative, increasing range, so the
+        ``(time, sequence)`` tuple ordering puts them ahead of every
+        non-front event at the same time — including non-front events that
+        were scheduled *earlier*.  The replay injector's streaming cursor
+        relies on this: the old schedule-everything-upfront injector's
         injection events always carried lower sequence numbers than any
         simulation event, so packet injections at time ``t`` preceded every
         simulation event at ``t`` — front scheduling preserves that ordering
-        without pre-populating the heap.
+        without pre-populating the heap.  (See
+        ``docs/architecture.md#engine-notes-hot-path-semantics``.)
 
         Raises:
             SimulationError: if ``time`` is in the past.
@@ -166,9 +171,14 @@ class Simulator:
     def peek_next_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if no live event remains.
 
-        Cancelled entries at the head of the queue are discarded in passing
-        (they are already dead, so the set of live events — and every
-        observable property — is unchanged).
+        Lazy-discard caveat: :meth:`cancel` only *marks* events (O(1)), so
+        cancelled entries linger in the heap until they surface.  This
+        method pops dead entries off the head in passing — it mutates the
+        heap *structurally*, but never the set of live events, so every
+        observable property (:attr:`pending_events`, the next live time,
+        execution order) is unchanged and the call may be treated as
+        logically read-only.  Consequently the heap's length is an upper
+        bound on — not equal to — :attr:`pending_events`.
         """
         heap = self._heap
         while heap and heap[0][2].cancelled:

@@ -112,7 +112,8 @@ class WorkloadDef:
         perturbations: Composable perturbation stack applied to the base
             arrival process, in order.
         arrival: Arrival-process kind (currently always ``"poisson"``).
-        group: Scenario-matrix group (``"paper"`` or ``"adversarial"``).
+        group: Scenario-matrix group (``"paper"``, ``"adversarial"``, or
+            ``"heuristics"``).
         description: One-line summary shown by ``python -m repro list
             --workloads``.
     """
@@ -307,6 +308,15 @@ register_workload(
         perturbations=(DeadlineTagging(fraction=0.5, slack_factor=6.0),),
         group="adversarial",
         description="default workload with half the flows deadline-tagged",
+    )
+)
+register_workload(
+    WorkloadDef(
+        name="deadline-tagged-tight",
+        distribution=PAPER_DEFAULT_SPEC,
+        perturbations=(DeadlineTagging(fraction=0.75, slack_factor=3.0),),
+        group="heuristics",
+        description="three quarters of the flows deadline-tagged, 3x-ideal budgets",
     )
 )
 register_workload(

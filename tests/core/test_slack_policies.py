@@ -1,0 +1,298 @@
+"""Tests for the slack-policy subsystem: registry, initializers, properties.
+
+Covers the acceptance criteria of the pluggable slack-initialization PR:
+
+* the registry ships (at least) the four paper policies — ``replay``,
+  ``zero``, ``deadline``, ``static-delay`` — as named, picklable definitions
+  with a lossless ``to_dict``/``from_dict`` round-trip;
+* each policy's initializer stamps headers per its Section-2/3 definition;
+* ``deadline`` slack is monotone in the deadline (property test);
+* policies feed the schedule-cache content hash, while policy-less keys are
+  bit-identical to the pre-policy pipeline.
+"""
+
+import math
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.slack import (
+    BlackBoxSlackInitializer,
+    DeadlineSlackInitializer,
+    StaticDelaySlackInitializer,
+    ZeroSlackInitializer,
+)
+from repro.core.slack_policy import (
+    POLICY_COMPATIBLE_MODES,
+    SLACK_POLICIES,
+    SlackPolicyDef,
+)
+from repro.core.schedule import PacketRecord
+from repro.schedulers import uniform_factory
+from repro.sim import Simulator
+from repro.sim.packet import Packet
+from repro.topology import linear_topology
+from repro.utils import mbps
+
+
+@pytest.fixture
+def line_network():
+    topo = linear_topology(2, mbps(10))
+    return topo.build(Simulator(), uniform_factory("fifo"))
+
+
+def make_record(network, ingress=0.0, output=0.05, size=1000.0, deadline=None, flow_size=None):
+    path = network.path("src0", "dst0")
+    return PacketRecord(
+        packet_id=1,
+        flow_id=1,
+        src="src0",
+        dst="dst0",
+        size_bytes=size,
+        ingress_time=ingress,
+        output_time=output,
+        path=path,
+        flow_size_bytes=flow_size,
+        deadline=deadline,
+    )
+
+
+def make_packet():
+    return Packet(flow_id=1, src="src0", dst="dst0", size_bytes=1000)
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+class TestSlackPolicyRegistry:
+    def test_ships_the_four_paper_policies(self):
+        names = SLACK_POLICIES.names()
+        for name in ("replay", "zero", "deadline", "static-delay"):
+            assert name in names
+        assert len(SLACK_POLICIES) >= 4
+
+    def test_get_unknown_name_lists_known_policies(self):
+        with pytest.raises(KeyError, match="unknown slack policy"):
+            SLACK_POLICIES.get("nope")
+
+    def test_definitions_round_trip_losslessly(self):
+        for definition in SLACK_POLICIES:
+            clone = SlackPolicyDef.from_dict(definition.to_dict())
+            assert clone == definition
+            assert clone.to_dict() == definition.to_dict()
+
+    def test_definitions_are_picklable_and_hashable(self):
+        for definition in SLACK_POLICIES:
+            assert pickle.loads(pickle.dumps(definition)) == definition
+            assert hash(definition) == hash(SlackPolicyDef.from_dict(definition.to_dict()))
+
+    def test_build_returns_the_matching_initializer(self):
+        assert isinstance(SLACK_POLICIES.get("replay").build(), BlackBoxSlackInitializer)
+        assert isinstance(SLACK_POLICIES.get("zero").build(), ZeroSlackInitializer)
+        assert isinstance(SLACK_POLICIES.get("deadline").build(), DeadlineSlackInitializer)
+        assert isinstance(
+            SLACK_POLICIES.get("static-delay").build(), StaticDelaySlackInitializer
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown slack-policy kind"):
+            SlackPolicyDef(name="x", kind="nope")
+
+    def test_params_are_sorted_for_stable_hashing(self):
+        a = SlackPolicyDef(name="x", kind="deadline", params=(("no_deadline_slack", 2.0),))
+        b = SlackPolicyDef.from_dict(a.to_dict())
+        assert a.params == b.params
+
+    def test_compatible_modes_exclude_header_vector_modes(self):
+        assert "lstf" in POLICY_COMPATIBLE_MODES
+        assert "omniscient" not in POLICY_COMPATIBLE_MODES
+        assert "priority" not in POLICY_COMPATIBLE_MODES
+
+
+# --------------------------------------------------------------------- #
+# Per-policy initializer behaviour
+# --------------------------------------------------------------------- #
+class TestZeroSlack:
+    def test_stamps_zero_slack_and_keeps_flow_deadline(self, line_network):
+        record = make_record(line_network, deadline=0.4)
+        packet = make_packet()
+        ZeroSlackInitializer().initialize(packet, record, line_network)
+        assert packet.header.slack == 0.0
+        assert packet.header.deadline == pytest.approx(0.4)
+
+    def test_untagged_flow_has_no_deadline(self, line_network):
+        packet = make_packet()
+        ZeroSlackInitializer().initialize(packet, make_record(line_network), line_network)
+        assert packet.header.slack == 0.0
+        assert packet.header.deadline is None
+
+
+class TestStaticDelaySlack:
+    def test_every_packet_gets_the_constant(self, line_network):
+        initializer = StaticDelaySlackInitializer(slack_seconds=0.25)
+        for deadline in (None, 0.7):
+            packet = make_packet()
+            initializer.initialize(
+                packet, make_record(line_network, deadline=deadline), line_network
+            )
+            assert packet.header.slack == pytest.approx(0.25)
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            StaticDelaySlackInitializer(slack_seconds=-1.0)
+
+
+class TestDeadlineSlack:
+    def test_slack_is_deadline_minus_ingress_minus_bottleneck_residual(self, line_network):
+        record = make_record(
+            line_network, ingress=0.01, deadline=0.5, size=1000.0, flow_size=8000.0
+        )
+        packet = make_packet()
+        DeadlineSlackInitializer().initialize(packet, record, line_network)
+        residual = line_network.bottleneck_transmission_time(8000.0)
+        assert packet.header.slack == pytest.approx(0.5 - 0.01 - residual)
+        assert packet.header.deadline == pytest.approx(0.5)
+
+    def test_falls_back_to_packet_size_without_flow_size(self, line_network):
+        record = make_record(line_network, ingress=0.0, deadline=0.2, size=1000.0)
+        packet = make_packet()
+        DeadlineSlackInitializer().initialize(packet, record, line_network)
+        residual = line_network.bottleneck_transmission_time(1000.0)
+        assert packet.header.slack == pytest.approx(0.2 - residual)
+
+    def test_infeasible_deadline_yields_negative_slack(self, line_network):
+        record = make_record(line_network, ingress=0.5, deadline=0.1, flow_size=8000.0)
+        packet = make_packet()
+        DeadlineSlackInitializer().initialize(packet, record, line_network)
+        assert packet.header.slack < 0.0
+
+    def test_untagged_flows_get_the_constant_fallback(self, line_network):
+        initializer = DeadlineSlackInitializer(no_deadline_slack=0.125)
+        packet = make_packet()
+        initializer.initialize(packet, make_record(line_network), line_network)
+        assert packet.header.slack == pytest.approx(0.125)
+        assert packet.header.deadline is None
+
+    def test_negative_fallback_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DeadlineSlackInitializer(no_deadline_slack=-0.5)
+
+    @given(
+        deadlines=st.lists(
+            st.floats(min_value=-10.0, max_value=10.0, allow_nan=False), min_size=2, max_size=20
+        ),
+        ingress=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+        flow_size=st.floats(min_value=100.0, max_value=1e7, allow_nan=False),
+    )
+    def test_slack_is_monotone_in_the_deadline(self, deadlines, ingress, flow_size):
+        """Property: with everything else fixed, a later deadline never
+        yields less slack — and strictly later yields strictly more."""
+        topo = linear_topology(2, mbps(10))
+        network = topo.build(Simulator(), uniform_factory("fifo"))
+        initializer = DeadlineSlackInitializer()
+        slacks = []
+        for deadline in sorted(deadlines):
+            record = make_record(
+                network, ingress=ingress, deadline=deadline, flow_size=flow_size
+            )
+            packet = make_packet()
+            initializer.initialize(packet, record, network)
+            slacks.append((deadline, packet.header.slack))
+        for (d_a, s_a), (d_b, s_b) in zip(slacks, slacks[1:]):
+            assert s_b >= s_a
+            if d_b > d_a:
+                assert s_b - s_a == pytest.approx(d_b - d_a)
+
+
+class TestReplayPolicy:
+    def test_replay_policy_matches_blackbox_initialization(self, line_network):
+        record = make_record(line_network, ingress=0.01, output=0.05)
+        via_policy = make_packet()
+        SLACK_POLICIES.get("replay").build().initialize(via_policy, record, line_network)
+        direct = make_packet()
+        BlackBoxSlackInitializer().initialize(direct, record, line_network)
+        assert via_policy.header.slack == direct.header.slack
+        assert via_policy.header.deadline == direct.header.deadline
+
+
+# --------------------------------------------------------------------- #
+# Cache-key integration
+# --------------------------------------------------------------------- #
+class TestPolicyCacheKeys:
+    def _scenario(self, **overrides):
+        from repro.experiments import ExperimentScale
+        from repro.pipeline.scenario import Scenario
+
+        return Scenario(name="x", scale=ExperimentScale.smoke(), **overrides)
+
+    def test_policyless_key_identical_to_omitting_the_field(self):
+        from repro.pipeline.experiment import scenario_cache_key
+
+        assert scenario_cache_key(self._scenario()) == scenario_cache_key(
+            self._scenario(slack_policy=None)
+        )
+
+    def test_policy_feeds_the_content_hash(self):
+        from repro.pipeline.experiment import scenario_cache_key
+
+        keys = {
+            scenario_cache_key(self._scenario(slack_policy=policy))
+            for policy in (None, "replay", "zero", "deadline", "static-delay")
+        }
+        assert len(keys) == 5
+
+    def test_policy_params_feed_the_content_hash(self):
+        from repro.experiments import ExperimentScale
+        from repro.pipeline.cache import schedule_cache_key
+        from repro.pipeline.scenario import Scenario
+
+        scenario = Scenario(name="x", scale=ExperimentScale.smoke())
+        topology = scenario.build_topology()
+        workload = scenario.workload()
+        a = SlackPolicyDef(name="deadline", kind="deadline", params=(("no_deadline_slack", 1.0),))
+        b = SlackPolicyDef(name="deadline", kind="deadline", params=(("no_deadline_slack", 2.0),))
+        key_a = schedule_cache_key(topology, "fifo", workload, 1, slack_policy=a)
+        key_b = schedule_cache_key(topology, "fifo", workload, 1, slack_policy=b)
+        assert key_a != key_b
+
+    def test_policy_name_and_description_do_not_feed_the_hash(self):
+        """Only behavioral fields (kind + params) may invalidate cache
+        entries; renaming or re-describing a policy must not."""
+        from repro.experiments import ExperimentScale
+        from repro.pipeline.cache import schedule_cache_key
+        from repro.pipeline.scenario import Scenario
+
+        scenario = Scenario(name="x", scale=ExperimentScale.smoke())
+        topology = scenario.build_topology()
+        workload = scenario.workload()
+        a = SlackPolicyDef(name="deadline", kind="deadline", description="old words")
+        b = SlackPolicyDef(name="renamed", kind="deadline", description="new words")
+        assert a.fingerprint() == b.fingerprint()
+        key_a = schedule_cache_key(topology, "fifo", workload, 1, slack_policy=a)
+        key_b = schedule_cache_key(topology, "fifo", workload, 1, slack_policy=b)
+        assert key_a == key_b
+
+    def test_incompatible_mode_rejected_by_replay_scenario(self):
+        from repro.pipeline.experiment import replay_scenario
+
+        scenario = self._scenario(slack_policy="zero", replay_mode="omniscient")
+        with pytest.raises(ValueError, match="cannot drive replay mode"):
+            replay_scenario(scenario)
+
+    def test_override_slack_policy_suffixes_names(self):
+        from repro.pipeline.scenario import override_slack_policy
+
+        scenario = self._scenario()
+        (pinned,) = override_slack_policy([scenario], "deadline")
+        assert pinned.slack_policy == "deadline"
+        assert pinned.name == "x+slack:deadline"
+        (unchanged,) = override_slack_policy([pinned], "deadline")
+        assert unchanged.name == "x+slack:deadline"
+
+    def test_override_slack_policy_rejects_unknown_names(self):
+        from repro.pipeline.scenario import override_slack_policy
+
+        with pytest.raises(KeyError, match="unknown slack policy"):
+            override_slack_policy([self._scenario()], "nope")

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Relative-link gate for the repo's markdown documentation.
+
+Scans ``README.md`` and every ``docs/*.md`` file (or the files named on the
+command line) for inline markdown links/images and verifies that every
+*relative* target resolves to an existing file or directory, relative to the
+file containing the link.  External targets (``http(s)://``, ``mailto:``)
+and pure in-page anchors (``#section``) are skipped; a ``path#anchor``
+target is checked for the path part only.
+
+CI runs this as part of the ``docs`` job::
+
+    python tools/check_docs.py
+    python tools/check_docs.py docs/architecture.md  # subset
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Inline markdown links/images: ``[text](target)`` / ``![alt](target)``.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not files in this repository.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def default_files(root: Path) -> List[Path]:
+    """The documentation set the gate covers by default."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def broken_links(path: Path) -> List[Tuple[int, str]]:
+    """(line, target) pairs of relative links in ``path`` that do not resolve."""
+    broken: List[Tuple[int, str]] = []
+    text = path.read_text(encoding="utf-8")
+    fence_depth = 0
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            fence_depth = 1 - fence_depth
+            continue
+        if fence_depth:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                broken.append((line_no, target))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    """Check the documentation set; print broken links and return 1 if any."""
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(arg) for arg in argv] if argv else default_files(root)
+    total_broken = 0
+    for path in files:
+        for line_no, target in broken_links(path):
+            print(f"{path}:{line_no}: broken relative link -> {target}")
+            total_broken += 1
+    if total_broken:
+        print(f"{total_broken} broken link(s)")
+        return 1
+    print(f"docs link check OK: {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
