@@ -87,6 +87,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.runner import format_result, results_to_json
     from repro.pipeline.experiment import default_registry
     from repro.pipeline.runner import run_pipeline
+    from repro.pipeline.scenario import PipelineConfigError
 
     registry = default_registry()
     if args.all or not args.experiments:
@@ -107,6 +108,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    except PipelineConfigError as error:
+        # Expansion-time validation only (e.g. a live-only policy pinned
+        # onto replay scenarios); mid-run errors keep their tracebacks.
+        print(f"error: {error}", file=sys.stderr)
         return 2
     if args.json:
         payload = json.loads(results_to_json(summary.results))
@@ -158,6 +164,7 @@ def _slack_policy_entries() -> List[dict]:
             {
                 "name": definition.name,
                 "kind": definition.kind,
+                "modes": definition.capability(),
                 "params": definition.describe_params(),
                 "description": definition.description,
             }
@@ -175,16 +182,19 @@ def cmd_list(args: argparse.Namespace) -> int:
             return 0
         name_width = max(len(e["name"]) for e in entries)
         kind_width = max(len(e["kind"]) for e in entries)
+        modes_width = max(len(e["modes"]) for e in entries)
         params_width = max(len(e["params"]) for e in entries)
         print(f"{len(entries)} slack polic(ies) in the registry:")
         for entry in entries:
             print(
                 f"  {entry['name']:<{name_width}}  {entry['kind']:<{kind_width}}  "
+                f"{entry['modes']:<{modes_width}}  "
                 f"{entry['params']:<{params_width}}  {entry['description']}"
             )
         print(
-            "\nuse with `run <experiment> --slack-policy <name>`, "
-            "`replay --slack-policy <name>`, or via the heuristics group"
+            "\nmodes: `live` policies stamp packets at send time (figure2-4, "
+            "heuristics live columns);\n`replay` policies initialize replayed "
+            "headers (run/replay --slack-policy)"
         )
         return 0
 
@@ -267,6 +277,7 @@ def cmd_record(args: argparse.Namespace) -> int:
             workload,
             scenario.seed,
             slack_policy=scenario.slack_policy_def(),
+            slack_mode=scenario.slack_mode,
         ),
         "workload": workload_fingerprint(workload),
         "topology": topology.to_dict(),
@@ -313,7 +324,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        initializer = policy.build()
+        try:
+            initializer = policy.build_initializer()
+        except ValueError as error:  # live-only policy
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     try:
         schedule, meta = load_schedule(args.schedule)
     except (OSError, ValueError, gzip.BadGzipFile) as error:
@@ -472,8 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--slack-policy",
         default=None,
-        help="override every replay scenario's slack initialization with a "
-        "registry slack policy (see `list --slack-policies`)",
+        help="override slack initialization with a registry slack policy "
+        "(see `list --slack-policies`): replay scenarios get the policy's "
+        "replay initializer, live experiments (figure2/figure3) its "
+        "send-time policy",
     )
     scale_group.add_argument(
         "--quick", action="store_true", help="shorthand for --scale quick"

@@ -307,12 +307,21 @@ def record_schedule(
     destinations: Optional[Sequence[str]] = None,
     default_buffer_bytes: Optional[float] = None,
     max_events: Optional[int] = None,
+    slack_policy=None,
 ) -> Schedule:
     """Run the workload under the original schedulers and record the schedule.
 
     Flow arrivals stop at ``workload.duration``; the run then continues until
     every in-flight packet has drained so that each recorded packet has a
     complete path and output time.
+
+    Args:
+        slack_policy: Optional send-time
+            :class:`~repro.core.slack.SlackPolicy` installed on the network
+            while recording, so every injected packet is stamped as sources
+            emit it (the live application mode of
+            :mod:`repro.core.slack_policy`).  ``None`` records exactly as
+            before.
     """
     from repro.sim.simulation import Simulation
 
@@ -320,6 +329,7 @@ def record_schedule(
         topology,
         scheduler_factory,
         default_buffer_bytes=default_buffer_bytes,
+        slack_policy=slack_policy,
         seed=seed,
     )
     simulation.add_poisson_traffic(

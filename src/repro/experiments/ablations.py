@@ -44,6 +44,7 @@ class ModeComparisonDefinition(ExperimentDef):
     supports_replicates = True
 
     def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
+        """The scenarios whose schedules this comparison replays (subclass hook)."""
         raise NotImplementedError
 
     def cells(self, scale: ExperimentScale) -> List[Cell]:
@@ -97,6 +98,7 @@ class PreemptionAblationDefinition(ModeComparisonDefinition):
         self.originals = tuple(originals)
 
     def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
+        """One default scenario per compared original scheduler."""
         return [
             default_scenario(scale, original=original, name=f"I2-{original}")
             for original in self.originals
@@ -120,6 +122,7 @@ class EdfEquivalenceDefinition(ModeComparisonDefinition):
         self.original = original
 
     def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
+        """The single shared scenario both replay modes re-schedule."""
         return [default_scenario(scale, original=self.original)]
 
 
@@ -134,6 +137,7 @@ class OmniscientAblationDefinition(ModeComparisonDefinition):
         self.original = original
 
     def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
+        """The single shared scenario both initializations replay."""
         return [default_scenario(scale, original=self.original)]
 
 

@@ -116,6 +116,8 @@ class AdversarialDefinition(ExperimentDef):
         self.slack_policy = slack_policy
 
     def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
+        """All scenarios in cell order, with the workload/slack-policy
+        overrides and seed replicates applied."""
         base = (
             list(self._scenarios)
             if self._scenarios is not None

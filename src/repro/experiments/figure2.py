@@ -22,10 +22,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.fct import PAPER_FCT_BUCKET_EDGES, fct_by_flow_size, mean_fct
-from repro.core.slack import FlowSizeSlackPolicy
 from repro.experiments.config import ExperimentResult, ExperimentScale
 from repro.pipeline.cache import ScheduleCache
-from repro.pipeline.experiment import Cell, CellResult, ExperimentDef, register_experiment
+from repro.pipeline.experiment import (
+    Cell,
+    CellResult,
+    ExperimentDef,
+    build_live_slack_policy,
+    register_experiment,
+)
 from repro.pipeline.runner import run_experiment
 from repro.schedulers.factory import uniform_factory
 from repro.sim.flow import Flow
@@ -34,8 +39,9 @@ from repro.traffic.distributions import BoundedParetoSize
 from repro.traffic.workload import WorkloadSpec
 
 
-#: Scheduler configurations compared in Figure 2: registry name plus whether
-#: the LSTF flow-size slack policy is installed.
+#: Scheduler configurations compared in Figure 2: scheduler-registry name
+#: plus the slack-policy-registry name stamping packets at send time (the
+#: policy's live face, ``SlackPolicyDef.build_live``), or ``None``.
 FIGURE2_SCHEDULERS: Dict[str, Dict[str, object]] = {
     "fifo": {"factory": "fifo", "slack_policy": None},
     "srpt": {"factory": "srpt", "slack_policy": None},
@@ -63,12 +69,20 @@ def run_fct_scenario(
     mss: int = 1460,
     max_flow_bytes: float = 2e5,
     drain_factor: float = 8.0,
+    slack_policy_name: Optional[str] = None,
 ) -> List[Flow]:
-    """Run the Figure-2 workload under one scheduler and return its flows."""
+    """Run the Figure-2 workload under one scheduler and return its flows.
+
+    The scheduler's send-time slack policy comes from the slack-policy
+    registry: ``slack_policy_name`` overrides the configured default (the
+    ``--slack-policy`` CLI override for this live experiment); ``None``
+    keeps the :data:`FIGURE2_SCHEDULERS` configuration (``flow-size`` for
+    the LSTF deployment, no policy otherwise).  Schedulers configured
+    without a policy never get one, whatever the override says
+    (:func:`~repro.pipeline.experiment.build_live_slack_policy`).
+    """
     config = FIGURE2_SCHEDULERS[scheduler]
-    slack_policy = (
-        FlowSizeSlackPolicy(scale=1.0) if config["slack_policy"] == "flow-size" else None
-    )
+    slack_policy = build_live_slack_policy(config["slack_policy"], slack_policy_name)
     topology = scale.internet2()
     workload = WorkloadSpec(
         utilization=utilization,
@@ -92,13 +106,22 @@ def run_fct_scenario(
 
 
 class Figure2Definition(ExperimentDef):
-    """Mean-FCT comparison: one direct-simulation cell per scheduler."""
+    """Mean-FCT comparison: one direct-simulation (live-traffic) cell per
+    scheduler, with send-time slack stamped by registry policies.
+
+    ``--slack-policy`` (a live-capable registry policy) replaces the policy
+    of the cells that carry one — i.e. the LSTF deployment swaps its
+    ``flow-size`` heuristic for the named policy; the policy-less
+    conventional schedulers are unaffected.
+    """
 
     name = "figure2"
     notes = (
         "Paper (Figure 2): mean FCT FIFO 0.288s, SRPT 0.208s, SJF 0.194s, "
         "LSTF 0.195s — SJF/SRPT/LSTF clearly beat FIFO and LSTF tracks SJF."
     )
+
+    supports_slack_policy = True
 
     def __init__(
         self,
@@ -109,6 +132,13 @@ class Figure2Definition(ExperimentDef):
         self.utilization = utilization
 
     def cells(self, scale: ExperimentScale) -> List[Cell]:
+        """One direct-simulation cell per compared scheduler.
+
+        A ``--slack-policy`` override is validated up front (the name must
+        exist and be live-capable), so a bad override fails before any
+        cell simulates.
+        """
+        self.validate_live_slack_policy()
         return [
             Cell(self.name, scheduler, scheduler, scale.seed)
             for scheduler in self.schedulers
@@ -117,21 +147,29 @@ class Figure2Definition(ExperimentDef):
     def run_cell(
         self, cell: Cell, scale: ExperimentScale, cache: ScheduleCache
     ) -> CellResult:
-        flows = run_fct_scenario(scale, cell.label, utilization=self.utilization)
+        """Simulate one scheduler's live deployment and report FCT metrics."""
+        override = self.live_slack_policy_override(
+            FIGURE2_SCHEDULERS[cell.label]["slack_policy"]
+        )
+        flows = run_fct_scenario(
+            scale, cell.label, utilization=self.utilization, slack_policy_name=override
+        )
         completed = [flow for flow in flows if flow.completed]
         overall = mean_fct(completed)
         buckets = fct_by_flow_size(completed, PAPER_FCT_BUCKET_EDGES)
-        return CellResult(
-            cell=cell,
-            row={
-                "scheduler": cell.label,
-                "flows": len(flows),
-                "completed": len(completed),
-                "mean_fct": overall if overall is not None else float("nan"),
-                "small_flow_mean_fct": _bucket_mean(buckets, max_bytes=10220),
-                "large_flow_mean_fct": _bucket_mean(buckets, min_bytes=105120),
-            },
-        )
+        row = {
+            "scheduler": cell.label,
+            "flows": len(flows),
+            "completed": len(completed),
+            "mean_fct": overall if overall is not None else float("nan"),
+            "small_flow_mean_fct": _bucket_mean(buckets, max_bytes=10220),
+            "large_flow_mean_fct": _bucket_mean(buckets, min_bytes=105120),
+        }
+        if override is not None:
+            # Overridden rows say so; default rows keep the pre-unification
+            # column set (pinned bit-identical by the golden figure fixture).
+            row["slack_policy"] = override
+        return CellResult(cell=cell, row=row)
 
 
 def run_figure2(

@@ -15,10 +15,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.delay import delay_ccdf, delay_statistics
-from repro.core.slack import ConstantSlackPolicy
 from repro.experiments.config import ExperimentResult, ExperimentScale
 from repro.pipeline.cache import ScheduleCache
-from repro.pipeline.experiment import Cell, CellResult, ExperimentDef, register_experiment
+from repro.pipeline.experiment import (
+    Cell,
+    CellResult,
+    ExperimentDef,
+    build_live_slack_policy,
+    register_experiment,
+)
 from repro.pipeline.runner import run_experiment
 from repro.schedulers.factory import uniform_factory
 from repro.sim.packet import Packet
@@ -26,10 +31,13 @@ from repro.sim.simulation import Simulation
 from repro.traffic.distributions import paper_default_workload
 from repro.traffic.workload import WorkloadSpec
 
-#: Scheduler configurations compared in Figure 3.
+#: Scheduler configurations compared in Figure 3: scheduler-registry name
+#: plus the slack-policy-registry name stamping packets at send time (the
+#: ``static-delay`` policy's live face is the Section-3.2 constant slack
+#: that makes LSTF behave as FIFO+), or ``None``.
 FIGURE3_SCHEDULERS: Dict[str, Dict[str, object]] = {
     "fifo": {"factory": "fifo", "slack_policy": None},
-    "lstf": {"factory": "lstf", "slack_policy": "constant"},
+    "lstf": {"factory": "lstf", "slack_policy": "static-delay"},
     # FIFO+ deployed natively is included as a sanity row: it should match the
     # LSTF-with-constant-slack deployment.
     "fifo+": {"factory": "fifo+", "slack_policy": None},
@@ -40,12 +48,17 @@ def run_delay_scenario(
     scale: ExperimentScale,
     scheduler: str,
     utilization: float = 0.7,
+    slack_policy_name: Optional[str] = None,
 ) -> List[Packet]:
-    """Run the Figure-3 workload under one scheduler and return delivered packets."""
+    """Run the Figure-3 workload under one scheduler and return delivered packets.
+
+    ``slack_policy_name`` overrides the configured registry policy for the
+    scheduler (``None`` keeps the :data:`FIGURE3_SCHEDULERS` default);
+    schedulers configured without a policy never get one
+    (:func:`~repro.pipeline.experiment.build_live_slack_policy`).
+    """
     config = FIGURE3_SCHEDULERS[scheduler]
-    slack_policy = (
-        ConstantSlackPolicy(slack=1.0) if config["slack_policy"] == "constant" else None
-    )
+    slack_policy = build_live_slack_policy(config["slack_policy"], slack_policy_name)
     topology = scale.internet2()
     workload = WorkloadSpec(
         utilization=utilization,
@@ -66,7 +79,13 @@ def run_delay_scenario(
 
 
 class Figure3Definition(ExperimentDef):
-    """Tail-delay comparison: one direct-simulation cell per scheduler."""
+    """Tail-delay comparison: one direct-simulation (live-traffic) cell per
+    scheduler, with send-time slack stamped by registry policies.
+
+    ``--slack-policy`` (a live-capable registry policy) replaces the policy
+    of the cells that carry one — the LSTF deployment swaps its
+    ``static-delay`` constant for the named policy.
+    """
 
     name = "figure3"
     notes = (
@@ -74,6 +93,8 @@ class Figure3Definition(ExperimentDef):
         "mean 0.0786s / 99%ile 0.1958s — similar means, smaller tail for "
         "LSTF (= FIFO+)."
     )
+
+    supports_slack_policy = True
 
     def __init__(
         self,
@@ -84,6 +105,13 @@ class Figure3Definition(ExperimentDef):
         self.utilization = utilization
 
     def cells(self, scale: ExperimentScale) -> List[Cell]:
+        """One direct-simulation cell per compared scheduler.
+
+        A ``--slack-policy`` override is validated up front (the name must
+        exist and be live-capable), so a bad override fails before any
+        cell simulates.
+        """
+        self.validate_live_slack_policy()
         return [
             Cell(self.name, scheduler, scheduler, scale.seed)
             for scheduler in self.schedulers
@@ -92,18 +120,29 @@ class Figure3Definition(ExperimentDef):
     def run_cell(
         self, cell: Cell, scale: ExperimentScale, cache: ScheduleCache
     ) -> CellResult:
-        packets = run_delay_scenario(scale, cell.label, utilization=self.utilization)
+        """Simulate one scheduler's live deployment and report delay stats."""
+        override = self.live_slack_policy_override(
+            FIGURE3_SCHEDULERS[cell.label]["slack_policy"]
+        )
+        packets = run_delay_scenario(
+            scale, cell.label, utilization=self.utilization, slack_policy_name=override
+        )
         stats = delay_statistics(packets)
+        row = {
+            "scheduler": cell.label,
+            "packets": stats.count,
+            "mean_delay": stats.mean,
+            "p99_delay": stats.p99,
+            "p999_delay": stats.p999,
+            "max_delay": stats.maximum,
+        }
+        if override is not None:
+            # Overridden rows say so; default rows keep the pre-unification
+            # column set (pinned bit-identical by the golden figure fixture).
+            row["slack_policy"] = override
         return CellResult(
             cell=cell,
-            row={
-                "scheduler": cell.label,
-                "packets": stats.count,
-                "mean_delay": stats.mean,
-                "p99_delay": stats.p99,
-                "p999_delay": stats.p999,
-                "max_delay": stats.maximum,
-            },
+            row=row,
             curve=delay_ccdf(packets),
             curve_key=cell.label,
         )

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.fairness import FairnessTimeseries, fairness_timeseries
-from repro.core.slack import FairnessSlackPolicy
+from repro.core.slack_policy import SLACK_POLICIES
 from repro.experiments.config import ExperimentResult, ExperimentScale
 from repro.pipeline.cache import ScheduleCache
 from repro.pipeline.experiment import Cell, CellResult, ExperimentDef, register_experiment
@@ -122,7 +122,13 @@ def run_fairness_scenario(
     if scheduler == "lstf":
         if rest_bps is None:
             raise ValueError("LSTF fairness runs need a rest estimate")
-        slack_policy = FairnessSlackPolicy(rate_estimate_bps=rest_bps)
+        # The registry's `fairness` policy, re-parameterized per cell: the
+        # rest sweep is a parameter sweep over one registered definition.
+        slack_policy = (
+            SLACK_POLICIES.get("fairness")
+            .with_params(rate_estimate_bps=rest_bps)
+            .build_live()
+        )
     # 10 Gbps edge and host links so that congestion happens only in the core;
     # propagation shrunk (as in the paper) so convergence is visible quickly.
     topology = scale.internet2(

@@ -10,21 +10,34 @@ schedule that scheme actually produced, judged on its own terms
 (:func:`~repro.core.metrics.schedule_statistics`: mean and p99 packet delay,
 deadline-met fraction).
 
-Schemes fall into two kinds:
+Schemes fall into three kinds:
 
 * **direct** — a conventional scheduler (FIFO, SRPT) records its own
   schedule from the workload and is measured directly;
+* **live** — LSTF is actually *deployed*: the scheduler runs at every port
+  while a live-capable slack policy from
+  :data:`repro.core.slack_policy.SLACK_POLICIES` stamps each packet at send
+  time (``SlackPolicyDef.build_live``), exactly as the paper's Section-3
+  deployment would.  No replay is involved; the recorded schedule *is* the
+  deployment's own output.
 * **replay** — the baseline FIFO schedule is replayed with a candidate
-  scheduler whose headers are stamped by a slack policy from
-  :data:`repro.core.slack_policy.SLACK_POLICIES` (heuristic LSTF variants,
+  scheduler whose headers are stamped by a slack policy
+  (``SlackPolicyDef.build_initializer``: heuristic LSTF variants,
   true-deadline EDF) or by the omniscient initializer (the perfect-replay
   reference).  Replaying the FIFO baseline is what holds the offered
-  traffic fixed across schemes.
+  traffic fixed across the replay schemes.
+
+Because the workloads are open-loop (UDP arrivals drawn from the seed, not
+from feedback), every kind sees the *same offered traffic*, so live and
+replay columns are directly comparable: ``lstf-live-zero`` vs ``lstf-zero``
+asks what the zero-slack heuristic does deployed for real versus evaluated
+on the FIFO baseline's recording.
 
 The interesting comparisons: ``lstf-deadline`` (deadline minus ideal
 bottleneck residual) versus ``fifo`` on deadline-met fraction — the paper's
 claim that deadline-driven slack closes most of the gap to an omniscient
-replay — and ``lstf-zero``/``lstf-static-delay`` versus ``fifo`` on delay.
+replay — and ``lstf-zero``/``lstf-static-delay`` (and their live
+deployments) versus ``fifo`` on delay.
 """
 
 from __future__ import annotations
@@ -62,13 +75,17 @@ class HeuristicScheme:
 
     Attributes:
         label: Scheme name (the cell's ``mode`` and the row's ``scheme``).
-        kind: ``"direct"`` (measure the original scheduler's own schedule)
-            or ``"replay"`` (replay the FIFO baseline under a candidate
+        kind: ``"direct"`` (measure the original scheduler's own schedule),
+            ``"live"`` (deploy ``original`` with a live slack policy
+            stamping packets at send time, measure its own schedule), or
+            ``"replay"`` (replay the FIFO baseline under a candidate
             scheduler + slack policy).
-        original: Original scheduler recording the schedule (direct schemes).
+        original: Original scheduler recording the schedule (direct and
+            live schemes).
         replay_mode: Candidate scheduler deployed in the replay.
-        slack_policy: Slack-policy registry name stamping replayed headers
-            (``None`` = the replay mode's own initializer).
+        slack_policy: Slack-policy registry name — stamping replayed
+            headers (replay schemes) or packets at send time (live
+            schemes); ``None`` = the replay mode's own initializer.
     """
 
     label: str
@@ -77,12 +94,25 @@ class HeuristicScheme:
     replay_mode: str = "lstf"
     slack_policy: Optional[str] = None
 
+    @property
+    def slack_mode(self) -> str:
+        """The scenario ``slack_mode`` this scheme's policy applies in."""
+        return "live" if self.kind == "live" else "replay"
+
 
 #: The Section-3 comparison matrix, in row-group order: conventional
-#: schedulers first, then heuristic LSTF, then the oracle-informed replays.
+#: schedulers first, then the live heuristic-LSTF deployments, then the
+#: heuristic replays, then the oracle-informed replays.
 SCHEMES: Tuple[HeuristicScheme, ...] = (
     HeuristicScheme(label="fifo", kind="direct", original="fifo"),
     HeuristicScheme(label="srpt", kind="direct", original="srpt"),
+    HeuristicScheme(label="lstf-live-zero", kind="live", original="lstf", slack_policy="zero"),
+    HeuristicScheme(
+        label="lstf-live-static-delay", kind="live", original="lstf", slack_policy="static-delay"
+    ),
+    HeuristicScheme(
+        label="lstf-live-flow-size", kind="live", original="lstf", slack_policy="flow-size"
+    ),
     HeuristicScheme(label="edf-deadline", kind="replay", replay_mode="edf", slack_policy="deadline"),
     HeuristicScheme(label="lstf-zero", kind="replay", slack_policy="zero"),
     HeuristicScheme(label="lstf-static-delay", kind="replay", slack_policy="static-delay"),
@@ -106,7 +136,9 @@ def heuristic_scenario(
         replay_mode=scheme.replay_mode,
         workload=workload,
     )
-    return replace(base, slack_policy=scheme.slack_policy)
+    return replace(
+        base, slack_policy=scheme.slack_policy, slack_mode=scheme.slack_mode
+    )
 
 
 def heuristics_scenarios(scale: ExperimentScale) -> List[Scenario]:
@@ -125,7 +157,9 @@ def heuristics_row(
 
     All rows share one rectangular column set; the replay-fidelity columns
     (``fraction_overdue`` vs. the FIFO baseline) are ``None`` for direct
-    schemes, and the deadline columns report 0 flows for untagged seeds.
+    and live schemes (they are measured on their own schedules, not against
+    a baseline replay), and the deadline columns report 0 flows for
+    untagged seeds.
     """
     stats = schedule_statistics(schedule)
     return {
@@ -203,7 +237,11 @@ class HeuristicsDefinition(ExperimentDef):
     ) -> CellResult:
         scenario: Scenario = cell.spec
         scheme = SCHEME_BY_LABEL[cell.mode]
-        if scheme.kind == "direct":
+        if scheme.kind in ("direct", "live"):
+            # Both kinds measure the schedule the deployment itself
+            # produced; live schemes additionally install the scenario's
+            # slack policy at send time (record_scenario_schedule reads
+            # scenario.slack_mode) and key their cache entries by it.
             topology = scenario.build_topology()
             workload = scenario.workload()
             schedule, _ = cache.get_or_record(
@@ -213,6 +251,7 @@ class HeuristicsDefinition(ExperimentDef):
                 seed=scenario.seed,
                 recorder=lambda: record_scenario_schedule(scenario, topology, workload),
                 slack_policy=scenario.slack_policy_def(),
+                slack_mode=scenario.slack_mode,
             )
             row = heuristics_row(scenario, scheme, schedule)
         else:

@@ -193,6 +193,8 @@ class Table1Definition(ExperimentDef):
         self.slack_policy = slack_policy
 
     def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
+        """All scenarios in cell order, with the workload/slack-policy
+        overrides and seed replicates applied."""
         base = (
             list(self._scenarios)
             if self._scenarios is not None

@@ -48,6 +48,7 @@ from repro.pipeline.runner import (
     run_pipeline,
 )
 from repro.pipeline.scenario import (
+    PipelineConfigError,
     WORKLOAD_FACTORIES,
     Scenario,
     Sweep,
@@ -59,6 +60,7 @@ __all__ = [
     "Cell",
     "CellResult",
     "ExperimentDef",
+    "PipelineConfigError",
     "REGISTRY",
     "RunSummary",
     "Scenario",

@@ -74,6 +74,7 @@ def schedule_cache_key(
     workload: WorkloadSpec,
     seed: int,
     slack_policy=None,
+    slack_mode: str = "replay",
 ) -> str:
     """Content hash of (topology, original scheduler, workload, seed[, policy]).
 
@@ -84,11 +85,19 @@ def schedule_cache_key(
     golden-key regression test), while cells replayed under a heuristic
     policy can never be mistaken for, or collide with, the default replay.
     Only the policy's behavioral fingerprint (kind + params) is hashed —
-    renaming or re-describing a policy does not invalidate entries.  The
-    recorded artifact itself does not depend on the policy, so two cells
-    differing only in policy re-record identical baselines; that redundancy
-    is the deliberate price of keys that identify the cell's full
-    provenance.
+    renaming or re-describing a policy does not invalidate entries.
+
+    ``slack_mode`` distinguishes the two ways a policy can apply:
+
+    * ``"replay"`` (the default) — the policy stamps *replayed* packets; the
+      recorded artifact itself does not depend on it, so two cells differing
+      only in policy re-record identical baselines.  That redundancy is the
+      deliberate price of keys that identify the cell's full provenance.
+      The hashed payload is bit-identical to the pre-``slack_mode`` code.
+    * ``"live"`` — the policy stamps packets at send time *during the
+      recording*, so the recorded schedule genuinely depends on it; the
+      fingerprint gains a ``"mode": "live"`` marker so a live cell can never
+      collide with a replay-policy cell of the same kind and parameters.
     """
     payload = {
         "topology": topology.to_dict(),
@@ -97,7 +106,10 @@ def schedule_cache_key(
         "seed": seed,
     }
     if slack_policy is not None:
-        payload["slack_policy"] = slack_policy.fingerprint()
+        fingerprint = slack_policy.fingerprint()
+        if slack_mode == "live":
+            fingerprint["mode"] = "live"
+        payload["slack_policy"] = fingerprint
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
@@ -167,6 +179,7 @@ class ScheduleCache:
         seed: int,
         recorder: Callable[[], Schedule],
         slack_policy=None,
+        slack_mode: str = "replay",
     ) -> Tuple[Schedule, str]:
         """Fetch the schedule for this cell, recording it on first use.
 
@@ -179,11 +192,16 @@ class ScheduleCache:
                 schedule; only invoked on a cache miss.
             slack_policy: The cell's slack-policy definition, if any; hashed
                 into the key (see :func:`schedule_cache_key`).
+            slack_mode: How the policy applies — ``"replay"`` (stamp replayed
+                packets) or ``"live"`` (the policy shaped the recording
+                itself; keyed separately).
 
         Returns:
             ``(schedule, key)``.
         """
-        key = schedule_cache_key(topology, original, workload, seed, slack_policy)
+        key = schedule_cache_key(
+            topology, original, workload, seed, slack_policy, slack_mode
+        )
         schedule = self._memory.get(key)
         if schedule is not None:
             self._memory.move_to_end(key)
@@ -208,6 +226,8 @@ class ScheduleCache:
             }
             if slack_policy is not None:
                 meta["slack_policy"] = slack_policy.to_dict()
+                if slack_mode != "replay":
+                    meta["slack_mode"] = slack_mode
             save_schedule(path, schedule, meta=meta)
         return schedule, key
 

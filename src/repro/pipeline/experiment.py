@@ -134,6 +134,44 @@ class ExperimentDef(ABC):
         clone.replicates = replicates
         return clone
 
+    # ------------------------------------------------------------------ #
+    # Live-policy override helpers (direct-simulation experiments)
+    # ------------------------------------------------------------------ #
+    def validate_live_slack_policy(self) -> None:
+        """Fail fast if the ``--slack-policy`` override cannot stamp live packets.
+
+        Direct-simulation experiments (Figures 2/3) call this from
+        :meth:`cells`, so a typo'd or replay-only policy aborts at
+        expansion time — before any cell simulates — with a
+        :class:`~repro.pipeline.scenario.PipelineConfigError` the CLI turns
+        into a one-line usage error.
+        """
+        if self.slack_policy is None:
+            return
+        from repro.core.slack_policy import SLACK_POLICIES
+        from repro.pipeline.scenario import PipelineConfigError
+
+        policy = SLACK_POLICIES.get(self.slack_policy)  # KeyError on typo
+        if not policy.supports_live:
+            raise PipelineConfigError(
+                f"experiment {self.name}: slack policy {policy.name!r} "
+                f"(capability {policy.capability()!r}) cannot stamp live "
+                "packets at send time"
+            )
+
+    def live_slack_policy_override(self, configured: Optional[str]) -> Optional[str]:
+        """The override to apply to a cell whose configured policy is ``configured``.
+
+        Returns the experiment's ``slack_policy`` when both it and the
+        cell's own configured policy are set (the override swaps the
+        policy-bearing deployment's heuristic), and ``None`` otherwise —
+        policy-less cells (conventional schedulers) are never given a
+        policy by the override.
+        """
+        if self.slack_policy is not None and configured is not None:
+            return self.slack_policy
+        return None
+
     @abstractmethod
     def cells(self, scale: "ExperimentScale") -> List[Cell]:
         """Expand this experiment into independent cells, in row order."""
@@ -168,14 +206,38 @@ class ExperimentDef(ABC):
 # ---------------------------------------------------------------------- #
 # Shared record/replay cell logic
 # ---------------------------------------------------------------------- #
+def build_live_slack_policy(configured, override: Optional[str] = None):
+    """Materialize a direct-simulation cell's send-time slack policy.
+
+    Both override rules live here — the single resolution point for live
+    experiments (Figures 2/3), so the semantics cannot drift between them:
+
+    * ``override`` (a registry name, e.g. an experiment's
+      ``--slack-policy``) replaces the cell's ``configured`` registry name;
+    * a cell with no configured policy (a conventional scheduler) is never
+      given one by an override — ``configured=None`` always resolves to
+      ``None``, whatever the override says.
+
+    Returns:
+        A built :class:`~repro.core.slack.SlackPolicy`, or ``None``.
+    """
+    if configured is None:
+        return None
+    name = override if override is not None else configured
+    from repro.core.slack_policy import SLACK_POLICIES
+
+    return SLACK_POLICIES.get(str(name)).build_live()
+
+
 def scenario_cache_key(scenario: Scenario) -> str:
     """The schedule-cache key this scenario's record/replay cell will use.
 
     Computed from plain specs (no simulation runs), so the runner can plan
     recording work — deduplicating cells that share one original schedule —
     before fanning anything out to workers.  Scenarios pinned to a slack
-    policy hash the policy's serialized form into their key; policy-less
-    scenarios hash exactly what they always did.
+    policy hash the policy's serialized form (plus a live-mode marker when
+    the policy shaped the recording) into their key; policy-less scenarios
+    hash exactly what they always did.
     """
     return schedule_cache_key(
         scenario.build_topology(),
@@ -183,6 +245,7 @@ def scenario_cache_key(scenario: Scenario) -> str:
         scenario.workload(),
         scenario.seed,
         slack_policy=scenario.slack_policy_def(),
+        slack_mode=scenario.slack_mode,
     )
 
 
@@ -191,13 +254,25 @@ def record_scenario_schedule(
     topology=None,
     workload=None,
 ) -> Schedule:
-    """Record the original schedule for ``scenario`` (no cache involved)."""
+    """Record the original schedule for ``scenario`` (no cache involved).
+
+    A scenario carrying a live-mode slack policy
+    (``slack_mode="live"``) records with that policy installed on the
+    network, so the recorded schedule is what the policy-stamped deployment
+    actually produced; every other scenario records exactly as before.
+    """
     topology = topology if topology is not None else scenario.build_topology()
     workload = workload if workload is not None else scenario.workload()
     factory = original_scheduler_factory(
         scenario.original, topology, rng=RandomState(scenario.seed + 1)
     )
-    return record_schedule(topology, factory, workload, seed=scenario.seed)
+    return record_schedule(
+        topology,
+        factory,
+        workload,
+        seed=scenario.seed,
+        slack_policy=scenario.live_slack_policy(),
+    )
 
 
 def replay_scenario(
@@ -212,12 +287,16 @@ def replay_scenario(
     sharing a scenario (e.g. the same schedule replayed under LSTF and under
     simple priorities) record it only once.
 
-    When the scenario carries a ``slack_policy``, the policy's initializer
-    replaces the replay mode's default header initialization (heuristic
-    slack instead of recorded output times); the mode must then be one of
+    When the scenario carries a ``slack_policy`` in ``slack_mode="replay"``,
+    the policy's initializer replaces the replay mode's default header
+    initialization (heuristic slack instead of recorded output times); the
+    mode must then be one of
     :data:`~repro.core.slack_policy.POLICY_COMPATIBLE_MODES`, since the
     omniscient and static-priority modes read header fields only the
-    recorded schedule can supply.
+    recorded schedule can supply.  In ``slack_mode="live"`` the policy
+    already shaped the *recording* (it stamped packets at send time), so the
+    replay itself uses the mode's own initializer on that policy-shaped
+    schedule.
     """
     cache = cache if cache is not None else ScheduleCache()
     topology = scenario.build_topology()
@@ -225,7 +304,7 @@ def replay_scenario(
     policy = scenario.slack_policy_def()
     resolved_mode = mode or scenario.replay_mode
     initializer = None
-    if policy is not None:
+    if policy is not None and scenario.slack_mode == "replay":
         from repro.core.slack_policy import POLICY_COMPATIBLE_MODES
 
         if resolved_mode not in POLICY_COMPATIBLE_MODES:
@@ -234,7 +313,7 @@ def replay_scenario(
                 f"drive replay mode {resolved_mode!r}; compatible modes: "
                 f"{', '.join(POLICY_COMPATIBLE_MODES)}"
             )
-        initializer = policy.build()
+        initializer = policy.build_initializer()
     schedule, _ = cache.get_or_record(
         topology=topology,
         original=scenario.original,
@@ -242,6 +321,7 @@ def replay_scenario(
         seed=scenario.seed,
         recorder=lambda: record_scenario_schedule(scenario, topology, workload),
         slack_policy=policy,
+        slack_mode=scenario.slack_mode,
     )
     return evaluate_replay(
         topology,

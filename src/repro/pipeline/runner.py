@@ -152,9 +152,10 @@ def _worker_record(payload: Tuple[str, Scenario]) -> int:
     misses_before = _WORKER_CACHE.misses
     topology = scenario.build_topology()
     workload = scenario.workload()
-    # The slack policy must flow into the key here exactly as it does in
-    # scenario_cache_key/replay_scenario, or phase-1 recordings would land
-    # under a different entry than the phase-2 replays look up.
+    # The slack policy (and its application mode) must flow into the key
+    # here exactly as it does in scenario_cache_key/replay_scenario, or
+    # phase-1 recordings would land under a different entry than the
+    # phase-2 replays look up.
     _WORKER_CACHE.get_or_record(
         topology=topology,
         original=scenario.original,
@@ -162,6 +163,7 @@ def _worker_record(payload: Tuple[str, Scenario]) -> int:
         seed=scenario.seed,
         recorder=lambda: record_scenario_schedule(scenario, topology, workload),
         slack_policy=scenario.slack_policy_def(),
+        slack_mode=scenario.slack_mode,
     )
     return _WORKER_CACHE.misses - misses_before
 

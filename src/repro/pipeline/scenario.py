@@ -30,6 +30,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments -> pipel
     from repro.experiments.config import ExperimentScale
 
 
+class PipelineConfigError(ValueError):
+    """A run was configured with an impossible combination of options.
+
+    Raised at *expansion time* — while overrides are validated and cells
+    are planned, before any simulation runs — e.g. a live-only slack policy
+    pinned onto replay scenarios.  The CLI reports these as one-line usage
+    errors (exit 2); genuine mid-run :class:`ValueError`\\ s keep their
+    tracebacks.
+    """
+
+
 class _WorkloadFactoryView(Mapping):
     """Thin read-only compatibility view over the workload registry.
 
@@ -81,9 +92,15 @@ class Scenario:
             (:data:`repro.traffic.registry.WORKLOADS`).
         slack_policy: Key into the slack-policy registry
             (:data:`repro.core.slack_policy.SLACK_POLICIES`) selecting how
-            replayed packets' slack is initialized; ``None`` keeps the
-            replay mode's own initializer (the pre-policy behaviour, with
-            bit-identical cache keys).
+            packets' slack is initialized; ``None`` keeps the replay mode's
+            own initializer (the pre-policy behaviour, with bit-identical
+            cache keys).
+        slack_mode: How ``slack_policy`` applies — ``"replay"`` (the
+            default: the policy stamps packets re-injected from the recorded
+            schedule) or ``"live"`` (the policy stamps packets at send time
+            *while recording*, so the recorded schedule itself embodies the
+            policy — the Section-3 deployment mode).  Ignored when
+            ``slack_policy`` is ``None``.
     """
 
     name: str
@@ -100,6 +117,16 @@ class Scenario:
     transport: str = "udp"
     workload_name: str = "paper-default"
     slack_policy: Optional[str] = None
+    slack_mode: str = "replay"
+
+    def __post_init__(self) -> None:
+        from repro.core.slack_policy import SLACK_MODES
+
+        if self.slack_mode not in SLACK_MODES:
+            raise ValueError(
+                f"scenario {self.name}: slack_mode must be one of "
+                f"{', '.join(SLACK_MODES)}; got {self.slack_mode!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Derived quantities
@@ -148,6 +175,18 @@ class Scenario:
         from repro.core.slack_policy import SLACK_POLICIES
 
         return SLACK_POLICIES.get(self.slack_policy)
+
+    def live_slack_policy(self):
+        """The send-time :class:`~repro.core.slack.SlackPolicy` to install
+        while *recording* this scenario, or ``None``.
+
+        Non-``None`` exactly when the scenario carries a policy in
+        ``slack_mode="live"``; raises :class:`ValueError` if that policy is
+        replay-only (it cannot stamp packets without a recorded schedule).
+        """
+        if self.slack_policy is None or self.slack_mode != "live":
+            return None
+        return self.slack_policy_def().build_live()
 
     def workload(self) -> WorkloadSpec:
         """The workload for this scenario (distribution + perturbations)."""
@@ -244,13 +283,26 @@ def override_slack_policy(
     their names; overridden ones get a ``+slack:<name>`` suffix so their rows
     (and cache entries) cannot be mistaken for the default replay's.  The
     name is validated against the registry up front so typos fail before
-    anything runs.
+    anything runs; a policy that cannot serve a scenario's ``slack_mode``
+    (e.g. a live-only policy pinned onto replay cells) also fails at
+    expansion time rather than mid-run.
     """
     from repro.core.slack_policy import SLACK_POLICIES
 
-    SLACK_POLICIES.get(policy_name)  # raises KeyError listing known policies
+    definition = SLACK_POLICIES.get(policy_name)  # KeyError lists known policies
     out: List[Scenario] = []
     for scenario in scenarios:
+        supported = (
+            definition.supports_live
+            if scenario.slack_mode == "live"
+            else definition.supports_replay
+        )
+        if not supported:
+            raise PipelineConfigError(
+                f"slack policy {policy_name!r} (capability "
+                f"{definition.capability()!r}) cannot drive scenario "
+                f"{scenario.name!r} in slack_mode={scenario.slack_mode!r}"
+            )
         if scenario.slack_policy == policy_name:
             out.append(scenario)
         else:

@@ -163,6 +163,14 @@ class Simulator:
         reaches the top.  The live-event counter (:attr:`pending_events`) is
         decremented immediately.  Always cancel through this method — calling
         ``event.cancel()`` directly would skip the counter.
+
+        **Invariant (lazy discard):** after any sequence of cancels, the
+        heap's length is an *upper bound* on :attr:`pending_events`, never
+        necessarily equal to it; cancelled entries are physically removed
+        only when they surface at the head (in :meth:`peek_next_time`,
+        :meth:`step`, or :meth:`run`).  Every live event still fires exactly
+        once, in ``(time, sequence)`` order — see the cancel-then-peek
+        regression tests in ``tests/sim/test_engine.py``.
         """
         if not event.cancelled:
             event.cancelled = True
@@ -179,6 +187,14 @@ class Simulator:
         execution order) is unchanged and the call may be treated as
         logically read-only.  Consequently the heap's length is an upper
         bound on — not equal to — :attr:`pending_events`.
+
+        **Invariant (cancel-then-peek):** cancelling the head event and then
+        peeking returns the next *live* event's time, leaves
+        :attr:`pending_events` exactly as :meth:`cancel` left it, and must
+        not disturb which events a subsequent :meth:`run`/:meth:`step`
+        executes or their order — including events added later via
+        :meth:`schedule_at_front`, which still sort ahead of same-time
+        normal events after any number of peeks.
         """
         heap = self._heap
         while heap and heap[0][2].cancelled:

@@ -20,12 +20,18 @@ from hypothesis import strategies as st
 
 from repro.core.slack import (
     BlackBoxSlackInitializer,
+    ConstantSlackPolicy,
     DeadlineSlackInitializer,
+    FairnessSlackPolicy,
+    FlowSizeSlackPolicy,
+    NullSlackPolicy,
     StaticDelaySlackInitializer,
     ZeroSlackInitializer,
 )
 from repro.core.slack_policy import (
     POLICY_COMPATIBLE_MODES,
+    POLICY_KINDS,
+    SLACK_MODES,
     SLACK_POLICIES,
     SlackPolicyDef,
 )
@@ -109,6 +115,91 @@ class TestSlackPolicyRegistry:
         assert "lstf" in POLICY_COMPATIBLE_MODES
         assert "omniscient" not in POLICY_COMPATIBLE_MODES
         assert "priority" not in POLICY_COMPATIBLE_MODES
+
+
+# --------------------------------------------------------------------- #
+# Live/replay capability (the unified policy contract)
+# --------------------------------------------------------------------- #
+class TestPolicyCapabilities:
+    def test_every_kind_supports_at_least_one_mode(self):
+        for kind in POLICY_KINDS.values():
+            assert kind.supports_live or kind.supports_replay
+        assert SLACK_MODES == ("replay", "live")
+
+    def test_live_factories_build_the_figure_policies(self):
+        assert isinstance(SLACK_POLICIES.get("flow-size").build_live(), FlowSizeSlackPolicy)
+        assert isinstance(SLACK_POLICIES.get("fairness").build_live(), FairnessSlackPolicy)
+        assert isinstance(SLACK_POLICIES.get("null").build_live(), NullSlackPolicy)
+        static = SLACK_POLICIES.get("static-delay").build_live()
+        assert isinstance(static, ConstantSlackPolicy)
+        assert static.slack == 1.0
+        zero = SLACK_POLICIES.get("zero").build_live()
+        assert isinstance(zero, ConstantSlackPolicy)
+        assert zero.slack == 0.0
+
+    def test_live_only_policy_refuses_replay_materialization(self):
+        with pytest.raises(ValueError, match="live-only"):
+            SLACK_POLICIES.get("flow-size").build_initializer()
+        with pytest.raises(ValueError, match="live-only"):
+            SLACK_POLICIES.get("fairness").build()  # the legacy alias too
+
+    def test_replay_only_policy_refuses_live_materialization(self):
+        with pytest.raises(ValueError, match="replay-only"):
+            SLACK_POLICIES.get("replay").build_live()
+        with pytest.raises(ValueError, match="replay-only"):
+            SLACK_POLICIES.get("deadline").build_live()
+
+    def test_capability_strings(self):
+        assert SLACK_POLICIES.get("replay").capability() == "replay"
+        assert SLACK_POLICIES.get("zero").capability() == "live+replay"
+        assert SLACK_POLICIES.get("flow-size").capability() == "live"
+
+    def test_with_params_derives_a_reparameterized_def(self):
+        base = SLACK_POLICIES.get("fairness")
+        derived = base.with_params(rate_estimate_bps=2.5e6)
+        assert derived.name == base.name and derived.kind == base.kind
+        assert dict(derived.params)["rate_estimate_bps"] == 2.5e6
+        assert derived.fingerprint() != base.fingerprint()
+        policy = derived.build_live()
+        assert policy.rate_estimate_bps == 2.5e6
+
+    def test_with_params_rejects_unknown_parameter_names(self):
+        """A typo'd sweep must fail at expansion time with the accepted
+        names, not as a TypeError deep inside a pool worker (after the
+        bogus name already fed a cache key)."""
+        with pytest.raises(ValueError, match="does not accept"):
+            SLACK_POLICIES.get("fairness").with_params(rate_bps=5e5)
+        # Parameters beyond those registered are still fine when the
+        # factory accepts them (the registered def lists defaults only).
+        derived = SLACK_POLICIES.get("fairness").with_params(ack_slack=0.5)
+        assert derived.build_live().ack_slack == 0.5
+
+    def test_build_live_slack_policy_never_arms_policyless_cells(self):
+        """The shared live-experiment resolution helper: an override can
+        swap a configured policy but never installs one on a cell that was
+        configured without (conventional-scheduler cells stay bare)."""
+        from repro.pipeline.experiment import build_live_slack_policy
+
+        assert build_live_slack_policy(None) is None
+        assert build_live_slack_policy(None, "zero") is None
+        assert isinstance(build_live_slack_policy("flow-size"), FlowSizeSlackPolicy)
+        swapped = build_live_slack_policy("flow-size", "zero")
+        assert isinstance(swapped, ConstantSlackPolicy)
+
+    def test_live_faces_of_shared_kinds_match_the_figure_constructions(self):
+        """The registry's live faces must stamp exactly what Figures 2-4
+        stamped by hand before the unification."""
+        packet = make_packet()
+        SLACK_POLICIES.get("flow-size").build_live().on_packet_sent(packet, now=0.0)
+        by_hand = make_packet()
+        FlowSizeSlackPolicy(scale=1.0).on_packet_sent(by_hand, now=0.0)
+        assert packet.header.slack == by_hand.header.slack
+
+        packet = make_packet()
+        SLACK_POLICIES.get("static-delay").build_live().on_packet_sent(packet, now=0.0)
+        by_hand = make_packet()
+        ConstantSlackPolicy(slack=1.0).on_packet_sent(by_hand, now=0.0)
+        assert packet.header.slack == by_hand.header.slack
 
 
 # --------------------------------------------------------------------- #
@@ -296,3 +387,107 @@ class TestPolicyCacheKeys:
 
         with pytest.raises(KeyError, match="unknown slack policy"):
             override_slack_policy([self._scenario()], "nope")
+
+    def test_override_rejects_live_only_policy_on_replay_scenarios(self):
+        from repro.pipeline.scenario import override_slack_policy
+
+        with pytest.raises(ValueError, match="cannot drive scenario"):
+            override_slack_policy([self._scenario()], "flow-size")
+
+
+# --------------------------------------------------------------------- #
+# Live-mode scenario threading
+# --------------------------------------------------------------------- #
+class TestLiveModeScenarios:
+    def _scenario(self, **overrides):
+        from repro.experiments import ExperimentScale
+        from repro.pipeline.scenario import Scenario
+
+        return Scenario(name="x", scale=ExperimentScale.smoke(), **overrides)
+
+    def test_slack_mode_is_validated_at_construction(self):
+        with pytest.raises(ValueError, match="slack_mode"):
+            self._scenario(slack_mode="nope")
+
+    def test_live_slack_policy_materializes_only_in_live_mode(self):
+        assert self._scenario().live_slack_policy() is None
+        assert self._scenario(slack_policy="zero").live_slack_policy() is None
+        live = self._scenario(slack_policy="zero", slack_mode="live")
+        assert isinstance(live.live_slack_policy(), ConstantSlackPolicy)
+
+    def test_live_mode_with_replay_only_policy_fails_loudly(self):
+        scenario = self._scenario(slack_policy="deadline", slack_mode="live")
+        with pytest.raises(ValueError, match="replay-only"):
+            scenario.live_slack_policy()
+
+    def test_live_recording_installs_the_policy(self, monkeypatch):
+        """A live-mode recording must install the policy on the network and
+        call it for every injected packet.  A counting policy detects the
+        exact regression this pins: dropping the
+        ``slack_policy=scenario.live_slack_policy()`` wiring in
+        ``record_scenario_schedule`` makes the call list come back empty."""
+        import repro.core.slack_policy as sp
+        from repro.pipeline.experiment import record_scenario_schedule
+        from repro.core.slack import SlackPolicy
+
+        calls = []
+
+        class CountingSlackPolicy(SlackPolicy):
+            def on_packet_sent(self, packet, now):
+                calls.append(packet.packet_id)
+                packet.header.slack = 0.125
+
+        monkeypatch.setitem(
+            sp.POLICY_KINDS,
+            "counting",
+            sp.PolicyKind("counting", live_factory=CountingSlackPolicy),
+        )
+        monkeypatch.setitem(
+            sp.SLACK_POLICIES._definitions,
+            "counting",
+            sp.SlackPolicyDef(name="counting", kind="counting"),
+        )
+        scenario = self._scenario(
+            original="lstf", slack_policy="counting", slack_mode="live"
+        )
+        schedule = record_scenario_schedule(scenario)
+        assert len(schedule) > 0
+        # Every recorded data packet was stamped at send time by the policy.
+        assert len(calls) >= len(schedule)
+
+    def test_live_recording_offers_the_same_traffic(self):
+        """Installing a live policy must not perturb the offered traffic:
+        open-loop arrivals depend only on the seed, so plain and live
+        recordings inject the identical packet set at identical times
+        (what makes live and replay columns comparable)."""
+        from repro.pipeline.experiment import record_scenario_schedule
+        from repro.sim.flow import reset_flow_ids
+        from repro.sim.packet import reset_packet_ids
+
+        plain = self._scenario(original="lstf")
+        live = self._scenario(
+            original="lstf", slack_policy="zero", slack_mode="live"
+        )
+        reset_packet_ids(); reset_flow_ids()
+        schedule_plain = record_scenario_schedule(plain)
+        reset_packet_ids(); reset_flow_ids()
+        schedule_live = record_scenario_schedule(live)
+        assert len(schedule_plain) == len(schedule_live)
+        ingress = lambda s: [r.ingress_time for r in s.records()]
+        assert ingress(schedule_plain) == ingress(schedule_live)
+
+    def test_live_replay_uses_the_modes_own_initializer(self, tmp_path):
+        """Replaying a live-policy scenario initializes headers from the
+        (policy-shaped) recording — no POLICY_COMPATIBLE_MODES gate, and no
+        double application of the policy."""
+        from repro.pipeline.cache import ScheduleCache
+        from repro.pipeline.experiment import replay_scenario
+
+        scenario = self._scenario(
+            original="fifo", slack_policy="zero", slack_mode="live",
+            replay_mode="omniscient",
+        )
+        # omniscient would be rejected for a replay-mode policy; in live
+        # mode it is fine because the initializer comes from the recording.
+        result = replay_scenario(scenario, cache=ScheduleCache(tmp_path))
+        assert result.overdue_fraction == 0.0

@@ -1,0 +1,44 @@
+"""Golden-row pinning for the registry-driven Figure 2-4 experiments.
+
+The slack-policy unification rewired Figures 2-4 from ad-hoc
+``SlackPolicy`` instantiation to registry-materialized live policies
+(``SlackPolicyDef.build_live``).  The fixture below was captured *before*
+that refactor, so these tests prove the unified path is a pure refactor:
+every row — floats included — must match bit for bit.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentScale
+from repro.pipeline import run_pipeline
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_figure_rows.json"
+SMOKE = ExperimentScale.smoke()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    rows = json.loads(GOLDEN_PATH.read_text())
+    assert rows, "golden figure fixture is empty"
+    return rows
+
+
+@pytest.mark.parametrize("experiment", ["figure2", "figure3", "figure4"])
+def test_registry_driven_rows_match_pre_refactor_fixture(experiment, golden):
+    """Rows produced via the unified slack-policy registry path must be
+    bit-identical to the rows the pre-refactor code produced."""
+    summary = run_pipeline([experiment], scale=SMOKE, workers=1)
+    rows = summary.results[experiment].rows
+    assert rows == golden[experiment]
+
+
+def test_fixture_covers_every_figure(golden):
+    assert set(golden) == {"figure2", "figure3", "figure4"}
+    # The policy-bearing rows are present: figure2's LSTF deployment,
+    # figure3's LSTF-as-FIFO+ row, and figure4's rest sweep.
+    assert any(row["scheduler"] == "lstf" for row in golden["figure2"])
+    assert any(row["scheduler"] == "lstf" for row in golden["figure3"])
+    assert any(row["scheduler"].startswith("lstf@") for row in golden["figure4"])

@@ -66,7 +66,8 @@ class TestHeuristicsExperiment:
             assert row["deadline_flows"] >= 0
             assert 0.0 <= row["deadline_met_fraction"] <= 1.0
             scheme = SCHEME_BY_LABEL[row["scheme"]]
-            if scheme.kind == "direct":
+            if scheme.kind in ("direct", "live"):
+                # Measured on their own schedules, not against a baseline.
                 assert row["fraction_overdue"] is None
             else:
                 assert 0.0 <= row["fraction_overdue"] <= 1.0
@@ -77,6 +78,26 @@ class TestHeuristicsExperiment:
             group = [r for r in rows if r["workload"] == workload]
             assert len({r["packets"] for r in group}) == 1
             assert len({r["deadline_flows"] for r in group}) == 1
+
+    def test_live_deployment_matches_replay_for_stateless_policies(self):
+        """Replay fidelity, measured: for a constant (stateless) slack
+        policy on open-loop UDP traffic, replaying the FIFO baseline under
+        LSTF stamps the same packets with the same slack at the same
+        ingress times as a genuine live deployment — so the live and
+        replay columns must agree bit for bit.  This is the paper's
+        replay-methodology claim made executable; a divergence means the
+        replay harness no longer reproduces deployment dynamics."""
+        rows = heuristics_rows(SMOKE)
+        by = {(r["workload"], r["scheme"]): r for r in rows}
+        for workload in HEURISTIC_WORKLOADS:
+            for policy in ("zero", "static-delay"):
+                live = by[(workload, f"lstf-live-{policy}")]
+                replay = by[(workload, f"lstf-{policy}")]
+                for column in (
+                    "packets", "mean_delay", "p99_delay",
+                    "deadline_flows", "deadline_met_fraction",
+                ):
+                    assert live[column] == replay[column], (workload, policy, column)
 
     def test_omniscient_replay_is_perfect(self):
         rows = heuristics_rows(SMOKE)
@@ -156,6 +177,38 @@ class TestSlackPolicyCli:
         assert by_name["deadline"]["kind"] == "deadline"
         assert "no_deadline_slack" in by_name["deadline"]["params"]
 
+    def test_list_slack_policies_pins_capability_column(self, capsys):
+        """The live/replay capability of every built-in policy, as shown by
+        ``list --slack-policies`` — the CLI face of the policy contract
+        (docs/slack-policies.md).  A capability change is a contract change
+        and must update this table deliberately."""
+        assert cli_main(["list", "--slack-policies", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        modes = {entry["name"]: entry["modes"] for entry in entries}
+        assert modes == {
+            "replay": "replay",
+            "zero": "live+replay",
+            "deadline": "replay",
+            "static-delay": "live+replay",
+            "flow-size": "live",
+            "fairness": "live",
+            "null": "live",
+        }
+
+    def test_list_slack_policies_table_shows_modes(self, capsys):
+        assert cli_main(["list", "--slack-policies"]) == 0
+        lines = {
+            line.split()[0]: line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("  ")
+        }
+        # Per-row capability rendering, not just a crash check: the
+        # live-only row must NOT say live+replay, the both-capable row must.
+        assert " live " in lines["flow-size"]
+        assert "live+replay" not in lines["flow-size"]
+        assert "live+replay" in lines["static-delay"]
+        assert " replay " in lines["deadline"]
+
     def test_run_heuristics_via_cli(self, tmp_path, capsys):
         code = cli_main(
             [
@@ -223,3 +276,49 @@ class TestSlackPolicyCli:
     def test_run_rejects_unknown_slack_policy(self, tmp_path):
         with pytest.raises(KeyError, match="unknown slack policy"):
             run_pipeline(["adversarial"], scale=SMOKE, slack_policy="nope")
+
+    def test_run_live_experiment_with_slack_policy_override(self, capsys):
+        """`run figure3 --slack-policy zero` deploys LSTF with the zero
+        policy stamped at send time; the overridden row says so."""
+        code = cli_main(
+            ["run", "figure3", "--scale", "smoke", "--no-cache",
+             "--slack-policy", "zero", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = {row["scheduler"]: row for row in payload["figure3"]["rows"]}
+        assert rows["lstf"]["slack_policy"] == "zero"
+        assert "slack_policy" not in rows["fifo"]  # policy-less cell untouched
+        assert "figure3" not in " ".join(payload["_summary"]["notes"])
+
+    def test_run_live_experiment_rejects_replay_only_policy(self, capsys):
+        code = cli_main(
+            ["run", "figure2", "--scale", "smoke", "--no-cache",
+             "--slack-policy", "deadline"]
+        )
+        assert code == 2
+        assert "cannot stamp live packets" in capsys.readouterr().err
+
+    def test_run_replay_experiment_rejects_live_only_policy(self, capsys):
+        code = cli_main(
+            ["run", "adversarial", "--scale", "smoke", "--no-cache",
+             "--slack-policy", "flow-size"]
+        )
+        assert code == 2
+        assert "cannot drive scenario" in capsys.readouterr().err
+
+    def test_live_columns_ride_the_heuristics_matrix(self, tmp_path, capsys):
+        """The live lstf deployments are first-class heuristics columns and
+        see the same offered traffic as the FIFO baseline."""
+        code = cli_main(
+            ["run", "heuristics", "--scale", "smoke",
+             "--cache-dir", str(tmp_path / "cache"), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["heuristics"]["rows"]
+        for workload in HEURISTIC_WORKLOADS:
+            group = {r["scheme"]: r for r in rows if r["workload"] == workload}
+            for live in ("lstf-live-zero", "lstf-live-static-delay", "lstf-live-flow-size"):
+                assert group[live]["packets"] == group["fifo"]["packets"]
+                assert group[live]["fraction_overdue"] is None

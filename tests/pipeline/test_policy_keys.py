@@ -1,0 +1,132 @@
+"""Golden cache-key pinning for slack-policy-bearing (and live-mode) cells.
+
+Complements ``tests/pipeline/test_workloads.py`` (which pins the 34
+policy-less pre-refactor keys): this fixture pins the keys of cells that
+carry a slack policy — in replay mode and in the live application mode the
+unification added — so future refactors can neither silently remap a
+policy-bearing entry nor collide a live cell with a replay cell.
+
+Fixture layout (``tests/data/golden_policy_keys.json``):
+
+* ``<scale>/live/<policy>`` — the default Internet2 scenario recorded with
+  the policy stamping packets at send time;
+* ``<scale>/replay/<policy>`` — the same scenario with the policy stamping
+  replayed headers instead;
+* ``smoke/live-variant/<kind>[<param>=<value>]`` — parameter variants of a
+  kind, proving params feed the hash.
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.core.slack_policy import SLACK_POLICIES, SlackPolicyDef
+from repro.experiments import ExperimentScale
+from repro.experiments.table1 import default_scenario
+from repro.pipeline.experiment import scenario_cache_key
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_policy_keys.json"
+
+SCALES = {"smoke": ExperimentScale.smoke(), "quick": ExperimentScale.quick()}
+
+#: Parameter variants behind the ``live-variant`` fixture entries.
+VARIANT_DEFS = {
+    "static-delay[slack_seconds=0.5]": SlackPolicyDef(
+        name="v", kind="static-delay", params=(("slack_seconds", 0.5),)
+    ),
+    "flow-size[scale=2]": SlackPolicyDef(
+        name="v", kind="flow-size", params=(("scale", 2.0),)
+    ),
+    "fairness[rate_estimate_bps=5e5]": SlackPolicyDef(
+        name="v", kind="fairness", params=(("rate_estimate_bps", 5e5),)
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    keys = json.loads(GOLDEN_PATH.read_text())
+    assert keys, "golden policy-key fixture is empty"
+    return keys
+
+
+def _base(scale):
+    return default_scenario(scale, original="lstf", name="I2-1G-10G")
+
+
+class TestGoldenPolicyKeys:
+    def test_all_fixture_keys_are_distinct(self, golden):
+        """Distinct per policy, per param set, and per application mode."""
+        assert len(set(golden.values())) == len(golden)
+
+    def test_live_and_replay_keys_recompute_bit_identically(self, golden):
+        checked = 0
+        for label, key in golden.items():
+            scale_name, mode, policy = label.split("/", 2)
+            if mode not in ("live", "replay"):
+                continue
+            scenario = replace(
+                _base(SCALES[scale_name]), slack_policy=policy, slack_mode=mode
+            )
+            assert scenario_cache_key(scenario) == key, label
+            checked += 1
+        assert checked >= 12
+
+    def test_param_variant_keys_recompute_bit_identically(self, golden, monkeypatch):
+        checked = 0
+        for label, key in golden.items():
+            scale_name, mode, variant = label.split("/", 2)
+            if mode != "live-variant":
+                continue
+            name = f"__variant__{variant}"
+            monkeypatch.setitem(
+                SLACK_POLICIES._definitions,
+                name,
+                replace(VARIANT_DEFS[variant], name=name),
+            )
+            scenario = replace(
+                _base(SCALES[scale_name]), slack_policy=name, slack_mode="live"
+            )
+            assert scenario_cache_key(scenario) == key, label
+            checked += 1
+        assert checked == len(VARIANT_DEFS)
+
+    def test_fixture_covers_every_registered_capability(self, golden):
+        """Every built-in policy appears under each mode it supports, so a
+        newly registered policy must be added to the fixture deliberately."""
+        for policy in SLACK_POLICIES:
+            if policy.name.startswith("__variant__"):
+                continue
+            if policy.supports_live:
+                assert f"smoke/live/{policy.name}" in golden, policy.name
+            if policy.supports_replay:
+                assert f"smoke/replay/{policy.name}" in golden, policy.name
+
+    def test_live_mode_never_collides_with_replay_mode(self):
+        """For both-capable policies the two application modes must key
+        separately: a live recording genuinely depends on the policy."""
+        for policy in SLACK_POLICIES:
+            if not (policy.supports_live and policy.supports_replay):
+                continue
+            base = _base(SCALES["smoke"])
+            live = replace(base, slack_policy=policy.name, slack_mode="live")
+            replay = replace(base, slack_policy=policy.name, slack_mode="replay")
+            assert scenario_cache_key(live) != scenario_cache_key(replay)
+
+    def test_policyless_keys_stay_pinned_alongside(self):
+        """The 34 policy-less golden keys are asserted by
+        tests/pipeline/test_workloads.py; spot-check one here so this file
+        fails loudly too if the base payload drifts."""
+        legacy = json.loads(
+            (GOLDEN_PATH.parent / "golden_cache_keys.json").read_text()
+        )
+        assert len(legacy) >= 34
+        from repro.__main__ import _replay_scenarios
+
+        scenarios = _replay_scenarios(SCALES["smoke"])
+        assert (
+            scenario_cache_key(scenarios["I2-1G-10G@70"])
+            == legacy["smoke/I2-1G-10G@70"]
+        )

@@ -202,3 +202,57 @@ def test_events_executed_total_accumulates_across_simulators():
     other.schedule(0.0, lambda: None)
     assert other.step()
     assert Simulator.events_executed_total - before == 4
+
+
+# --------------------------------------------------------------------- #
+# Lazy-discard invariant: cancel-then-peek (docs/architecture.md and the
+# engine docstrings promise this exact behaviour)
+# --------------------------------------------------------------------- #
+def test_cancel_then_peek_discards_dead_head_but_preserves_live_set():
+    sim = Simulator()
+    doomed = [sim.schedule(1.0, lambda: None), sim.schedule(1.5, lambda: None)]
+    survivor_fired = []
+    sim.schedule(2.0, survivor_fired.append, "live")
+    for event in doomed:
+        sim.cancel(event)
+    assert sim.pending_events == 1
+    # The heap still physically holds the cancelled entries (lazy discard):
+    # its length is an upper bound on pending_events, not equal to it.
+    assert len(sim._heap) == 3
+    # Peek skips both dead heads, reporting the next *live* time...
+    assert sim.peek_next_time() == 2.0
+    # ...and structurally drops the dead entries in passing, without
+    # touching the live-event counter.
+    assert len(sim._heap) == 1
+    assert sim.pending_events == 1
+    sim.run()
+    assert survivor_fired == ["live"]
+    assert sim.pending_events == 0
+
+
+def test_cancel_then_peek_then_front_scheduling_keeps_ordering():
+    """After a cancel-then-peek, schedule_at_front events must still fire
+    ahead of previously scheduled same-time normal events (the ordering the
+    streaming replay injector depends on)."""
+    sim = Simulator()
+    fired = []
+    head = sim.schedule_at(1.0, fired.append, "cancelled-head")
+    sim.schedule_at(2.0, fired.append, "normal")
+    sim.cancel(head)
+    assert sim.peek_next_time() == 2.0  # structurally pops the dead head
+    sim.schedule_at_front(2.0, fired.append, "front")
+    assert sim.peek_next_time() == 2.0
+    sim.run()
+    assert fired == ["front", "normal"]
+
+
+def test_cancel_every_event_then_peek_returns_none():
+    sim = Simulator()
+    events = [sim.schedule(float(i), lambda: None) for i in range(3)]
+    for event in events:
+        sim.cancel(event)
+    assert sim.pending_events == 0
+    assert sim.peek_next_time() is None
+    assert len(sim._heap) == 0  # peek drained every dead entry
+    sim.run()  # nothing left to execute
+    assert sim.events_processed == 0

@@ -2,8 +2,9 @@
 """Docstring-presence gate for the library's documented core.
 
 Walks every module in the packages named on the command line (default:
-``repro.core``, ``repro.pipeline``, ``repro.schedulers``) and fails if any
-*public* module, class, function, or method defined there lacks a docstring.
+``repro.core``, ``repro.pipeline``, ``repro.schedulers``, ``repro.traffic``,
+``repro.experiments``) and fails if any *public* module, class, function, or
+method defined there lacks a docstring.
 "Public" means the dotted path contains no ``_``-prefixed component;
 inherited members and re-exports defined elsewhere are skipped, so each
 symbol is checked exactly once, where it is defined.
@@ -22,7 +23,13 @@ import pkgutil
 import sys
 from typing import Iterator, List
 
-DEFAULT_PACKAGES = ("repro.core", "repro.pipeline", "repro.schedulers")
+DEFAULT_PACKAGES = (
+    "repro.core",
+    "repro.pipeline",
+    "repro.schedulers",
+    "repro.traffic",
+    "repro.experiments",
+)
 
 
 def iter_modules(package_name: str) -> Iterator[str]:
