@@ -66,6 +66,16 @@ def _add_scale_argument(parser) -> None:
     )
 
 
+def _add_backend_argument(parser) -> None:
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="simulation engine for replays: python (reference) or "
+        "vectorized (numpy fast path; bit-identical rows). Default: "
+        "$REPRO_BACKEND or python. See docs/backends.md",
+    )
+
+
 def _replay_scenarios(scale) -> dict:
     """All named replay scenarios across registered experiments."""
     from repro.pipeline.experiment import default_registry
@@ -105,6 +115,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             replicates=args.replicates,
             workload=args.workload,
             slack_policy=args.slack_policy,
+            backend=args.backend,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -299,6 +310,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
     from repro.core.replay import REPLAY_MODES, evaluate_replay
     from repro.core.schedule import load_schedule
+    from repro.pipeline.scenario import PipelineConfigError
     from repro.sim.flow import reset_flow_ids
     from repro.sim.packet import reset_packet_ids
     from repro.topology.base import Topology
@@ -344,13 +356,19 @@ def cmd_replay(args: argparse.Namespace) -> int:
     reset_packet_ids()
     reset_flow_ids()
     topology = Topology.from_dict(meta["topology"])
-    result = evaluate_replay(
-        topology,
-        schedule,
-        mode=args.mode,
-        threshold_packet_bytes=float(meta.get("mss", 1460)),
-        initializer=initializer,
-    )
+    try:
+        result = evaluate_replay(
+            topology,
+            schedule,
+            mode=args.mode,
+            threshold_packet_bytes=float(meta.get("mss", 1460)),
+            initializer=initializer,
+            backend=args.backend,
+        )
+    except PipelineConfigError as error:
+        # e.g. --backend vectorized without numpy installed
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     row = {
         "scenario": meta.get("scenario"),
         "original": meta.get("original"),
@@ -385,6 +403,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         save_bench,
         speedup_vs_baseline,
     )
+    from repro.pipeline.scenario import PipelineConfigError
 
     scale_name = "quick" if args.quick else args.scale
     if args.check and args.baseline is None:
@@ -404,9 +423,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             experiments=args.experiments or None,
             scale=scale_name,
             repeat=args.repeat,
+            backend=args.backend,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    except PipelineConfigError as error:
+        # e.g. --backend vectorized without numpy installed
+        print(f"error: {error}", file=sys.stderr)
         return 2
 
     payload = bench_payload(report, label=args.label, baseline=baseline)
@@ -495,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
     scale_group.add_argument(
         "--quick", action="store_true", help="shorthand for --scale quick"
     )
+    _add_backend_argument(run_parser)
     run_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
     run_parser.set_defaults(func=cmd_run)
 
@@ -540,6 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stamp headers with a registry slack policy instead of the "
         "mode's recorded-schedule initializer (see `list --slack-policies`)",
     )
+    _add_backend_argument(replay_parser)
     replay_parser.add_argument("--json", action="store_true", help="emit JSON")
     replay_parser.set_defaults(func=cmd_replay)
 
@@ -582,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="allowed fractional wall-time slowdown for --check (default: 0.25)",
     )
+    _add_backend_argument(bench_parser)
     bench_parser.add_argument("--label", default=None, help="free-form label for this run")
     bench_parser.add_argument("--json", action="store_true", help="emit the JSON payload")
     bench_parser.set_defaults(func=cmd_bench)

@@ -32,6 +32,9 @@ from repro.bench.harness import (
     BenchReport,
     ExperimentBench,
     bench_experiment,
+    bench_replay_path,
+    peak_rss_bytes,
+    prepare_replay_cells,
     rows_digest,
     run_bench,
 )
@@ -45,8 +48,11 @@ __all__ = [
     "Regression",
     "bench_experiment",
     "bench_payload",
+    "bench_replay_path",
     "find_regressions",
     "load_bench",
+    "peak_rss_bytes",
+    "prepare_replay_cells",
     "rows_digest",
     "run_bench",
     "save_bench",

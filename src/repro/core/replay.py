@@ -20,7 +20,7 @@ The workflow mirrors the paper exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.metrics import ReplayMetrics, compare_schedules
 from repro.core.schedule import PacketRecord, Schedule
@@ -36,6 +36,7 @@ from repro.schedulers.factory import alternating_factory, uniform_factory
 from repro.schedulers.lstf import LstfScheduler, PreemptiveLstfScheduler
 from repro.schedulers.omniscient import OmniscientReplayScheduler
 from repro.schedulers.priority import StaticPriorityScheduler
+from repro.sim.backend import SimBackend, register_backend, resolve_backend
 from repro.sim.engine import Simulator
 from repro.sim.flow import DEFAULT_MSS
 from repro.sim.network import Network, SchedulerFactory
@@ -197,6 +198,46 @@ def _lookup_mode(mode: str):
         raise KeyError(f"unknown replay mode {mode!r}; known modes: {known}") from None
 
 
+class PythonBackend(SimBackend):
+    """The reference backend: the OO engine, unchanged behaviour.
+
+    This is the behavioural specification every other backend must match
+    bit-for-bit; it supports every replay configuration (all modes, finite
+    buffers, preemption, arbitrary initializers).
+    """
+
+    name = "python"
+
+    def replay(
+        self,
+        topology: Topology,
+        schedule: Schedule,
+        mode: str = "lstf",
+        default_buffer_bytes: Optional[float] = None,
+        max_events: Optional[int] = None,
+        initializer: Optional[ReplayInitializer] = None,
+    ) -> Schedule:
+        sim = Simulator()
+        tracer = Tracer()
+        network = topology.build(
+            sim,
+            replay_scheduler_factory(mode),
+            tracer=tracer,
+            default_buffer_bytes=default_buffer_bytes,
+        )
+        if initializer is None:
+            initializer = replay_initializer(mode)
+        injector = ReplayInjector(sim, network, schedule, initializer)
+        injector.install()
+        # No feedback loops and no drops: the event queue drains once every
+        # injected packet has exited, so run to completion.
+        sim.run(until=None, max_events=max_events)
+        return Schedule.from_packets(tracer.delivered_data_packets(), use_replay_ids=True)
+
+
+register_backend("python", PythonBackend)
+
+
 def replay_schedule(
     topology: Topology,
     schedule: Schedule,
@@ -204,6 +245,7 @@ def replay_schedule(
     default_buffer_bytes: Optional[float] = None,
     max_events: Optional[int] = None,
     initializer: Optional[ReplayInitializer] = None,
+    backend: Union[str, SimBackend, None] = None,
 ) -> Schedule:
     """Replay a recorded schedule on a fresh instance of ``topology``.
 
@@ -220,23 +262,28 @@ def replay_schedule(
         initializer: Header initializer overriding the mode's default —
             how slack-policy replays (:mod:`repro.core.slack_policy`) stamp
             heuristic slack instead of recorded output times.
+        backend: Engine selector — a registry name, a
+            :class:`~repro.sim.backend.SimBackend` instance, or ``None``
+            (environment default, normally ``"python"``).  A backend that
+            does not support this exact configuration falls back to the
+            reference python backend; results are bit-identical either way.
     """
-    sim = Simulator()
-    tracer = Tracer()
-    network = topology.build(
-        sim,
-        replay_scheduler_factory(mode),
-        tracer=tracer,
+    engine = resolve_backend(backend)
+    if not engine.supports_replay(
+        mode,
         default_buffer_bytes=default_buffer_bytes,
+        initializer=initializer,
+        topology=topology,
+    ):
+        engine = resolve_backend("python")
+    return engine.replay(
+        topology,
+        schedule,
+        mode=mode,
+        default_buffer_bytes=default_buffer_bytes,
+        max_events=max_events,
+        initializer=initializer,
     )
-    if initializer is None:
-        initializer = replay_initializer(mode)
-    injector = ReplayInjector(sim, network, schedule, initializer)
-    injector.install()
-    # No feedback loops and no drops: the event queue drains once every
-    # injected packet has exited, so run to completion.
-    sim.run(until=None, max_events=max_events)
-    return Schedule.from_packets(tracer.delivered_data_packets(), use_replay_ids=True)
 
 
 def evaluate_replay(
@@ -247,6 +294,7 @@ def evaluate_replay(
     threshold_packet_bytes: float = float(DEFAULT_MSS),
     default_buffer_bytes: Optional[float] = None,
     initializer: Optional[ReplayInitializer] = None,
+    backend: Union[str, SimBackend, None] = None,
 ) -> ReplayResult:
     """Replay ``original`` with ``mode`` and compute the Table-1 metrics.
 
@@ -261,6 +309,7 @@ def evaluate_replay(
             = infinite, the paper's setting).
         initializer: Header initializer overriding the mode's default (see
             :func:`replay_schedule`); used by slack-policy replays.
+        backend: Engine selector forwarded to :func:`replay_schedule`.
     """
     replayed = replay_schedule(
         topology,
@@ -268,6 +317,7 @@ def evaluate_replay(
         mode=mode,
         default_buffer_bytes=default_buffer_bytes,
         initializer=initializer,
+        backend=backend,
     )
     if threshold is None:
         threshold = topology.bottleneck_transmission_time(threshold_packet_bytes)

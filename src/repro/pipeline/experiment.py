@@ -279,6 +279,7 @@ def replay_scenario(
     scenario: Scenario,
     mode: Optional[str] = None,
     cache: Optional[ScheduleCache] = None,
+    backend: Optional[str] = None,
 ) -> ReplayResult:
     """Record (or fetch from cache) ``scenario``'s schedule and replay it.
 
@@ -297,6 +298,14 @@ def replay_scenario(
     already shaped the *recording* (it stamped packets at send time), so the
     replay itself uses the mode's own initializer on that policy-shaped
     schedule.
+
+    ``backend`` selects the simulation engine for the *replay* leg (the
+    recording always runs on the reference engine — no optimized backend
+    reimplements the original-scheduler zoo); it overrides the scenario's
+    own ``backend`` field, and both default to the process-wide selection
+    (``REPRO_BACKEND`` or ``"python"``).  Backends are bit-identical by
+    contract, so the choice never changes a row — only how fast it is
+    produced — which is why it stays out of every cache key.
     """
     cache = cache if cache is not None else ScheduleCache()
     topology = scenario.build_topology()
@@ -329,6 +338,7 @@ def replay_scenario(
         mode=resolved_mode,
         threshold_packet_bytes=float(workload.mss),
         initializer=initializer,
+        backend=backend if backend is not None else scenario.backend,
     )
 
 

@@ -28,9 +28,11 @@ nothing at all (``RunSummary.records_computed == 0``).
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -119,9 +121,17 @@ def _execute_cell(
 _WORKER_CACHE: Optional[ScheduleCache] = None
 
 
-def _worker_init(cache_dir: Optional[str]) -> None:
+def _worker_init(cache_dir: Optional[str], backend: Optional[str] = None) -> None:
     global _WORKER_CACHE
     _WORKER_CACHE = ScheduleCache(cache_dir)
+    if backend is not None:
+        # Workers resolve the run's engine through the same process-default
+        # channel as everything else (see resolve_backend); an explicit
+        # initarg — rather than inherited environment — keeps spawn-based
+        # platforms working.
+        from repro.sim.backend import BACKEND_ENV_VAR
+
+        os.environ[BACKEND_ENV_VAR] = backend
 
 
 def _worker_run(
@@ -198,6 +208,35 @@ def _plan_records(
 # ---------------------------------------------------------------------- #
 # Entry points
 # ---------------------------------------------------------------------- #
+@contextmanager
+def _backend_scope(backend: Optional[str]):
+    """Make ``backend`` the process-default engine for the duration of a run.
+
+    The selection travels through :data:`~repro.sim.backend.BACKEND_ENV_VAR`
+    — the same channel ``resolve_backend(None)`` consults — so every replay
+    in the run (serial cells, convenience wrappers, nested helpers) picks it
+    up without threading a parameter through each experiment definition.
+    The previous value is restored on exit, and the backend is resolved
+    eagerly so an unknown name or missing optional dependency fails before
+    any cell runs (``PipelineConfigError``, CLI exit 2).
+    """
+    if backend is None:
+        yield
+        return
+    from repro.sim.backend import BACKEND_ENV_VAR, get_backend
+
+    get_backend(backend)  # fail fast: unknown name / missing dependency
+    previous = os.environ.get(BACKEND_ENV_VAR)
+    os.environ[BACKEND_ENV_VAR] = backend
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(BACKEND_ENV_VAR, None)
+        else:
+            os.environ[BACKEND_ENV_VAR] = previous
+
+
 def run_experiment(
     definition: ExperimentDef,
     scale: Optional[ExperimentScale] = None,
@@ -228,6 +267,7 @@ def run_pipeline(
     replicates: int = 1,
     workload: Optional[str] = None,
     slack_policy: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> RunSummary:
     """Run experiments, optionally fanning their cells across processes.
 
@@ -248,6 +288,12 @@ def run_pipeline(
         slack_policy: Slack-policy registry name overriding every scenario's
             replay initialization, for experiments that support it
             (``python -m repro run ... --slack-policy <name>``).
+        backend: Simulation-engine registry name (see
+            :mod:`repro.sim.backend`) made the process default for the whole
+            run — serial cells and pool workers alike (``python -m repro run
+            ... --backend <name>``).  Validated before anything runs;
+            backends are bit-identical by contract, so rows and cache
+            entries do not depend on this choice.
 
     Returns:
         A :class:`RunSummary` with per-experiment results merged in cell
@@ -307,37 +353,41 @@ def run_pipeline(
         tasks.extend((definition, cell) for cell in cells)
 
     cell_results: List[Optional[CellResult]] = [None] * len(tasks)
-    if workers <= 1 or len(tasks) <= 1:
-        workers = 1
-        cache = ScheduleCache(cache_dir)
-        for index, (definition, cell) in enumerate(tasks):
-            cell_results[index] = _execute_cell(definition, cell, scale, cache)
-        cache_hits, cache_misses = cache.hits, cache.misses
-    else:
-        # Phase 1 (record): with a shared on-disk cache, record each missing
-        # unique schedule exactly once before any replay cell runs.  Without
-        # a disk layer workers cannot share recordings, so phase 1 is skipped
-        # and each worker records what it needs (the pre-two-phase behavior).
-        plans: List[Tuple[str, Scenario]] = []
-        if cache_dir is not None:
-            plans = _plan_records(tasks, ScheduleCache(cache_dir))
-        payloads = [
-            (index, definition, cell, scale)
-            for index, (definition, cell) in enumerate(tasks)
-        ]
-        records_computed = 0
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_worker_init, initargs=(cache_dir,)
-        ) as pool:
-            if plans:
-                records_computed = sum(pool.map(_worker_record, plans))
-            # Phase 2 (replay): every cell runs against the warm cache.
-            for index, result in pool.map(_worker_run, payloads):
-                cell_results[index] = result
-        cache_hits = sum(r.cache_hits for r in cell_results if r is not None)
-        cache_misses = records_computed + sum(
-            r.cache_misses for r in cell_results if r is not None
-        )
+    with _backend_scope(backend):
+        if workers <= 1 or len(tasks) <= 1:
+            workers = 1
+            cache = ScheduleCache(cache_dir)
+            for index, (definition, cell) in enumerate(tasks):
+                cell_results[index] = _execute_cell(definition, cell, scale, cache)
+            cache_hits, cache_misses = cache.hits, cache.misses
+        else:
+            # Phase 1 (record): with a shared on-disk cache, record each
+            # missing unique schedule exactly once before any replay cell
+            # runs.  Without a disk layer workers cannot share recordings, so
+            # phase 1 is skipped and each worker records what it needs (the
+            # pre-two-phase behavior).
+            plans: List[Tuple[str, Scenario]] = []
+            if cache_dir is not None:
+                plans = _plan_records(tasks, ScheduleCache(cache_dir))
+            payloads = [
+                (index, definition, cell, scale)
+                for index, (definition, cell) in enumerate(tasks)
+            ]
+            records_computed = 0
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(cache_dir, backend),
+            ) as pool:
+                if plans:
+                    records_computed = sum(pool.map(_worker_record, plans))
+                # Phase 2 (replay): every cell runs against the warm cache.
+                for index, result in pool.map(_worker_run, payloads):
+                    cell_results[index] = result
+            cache_hits = sum(r.cache_hits for r in cell_results if r is not None)
+            cache_misses = records_computed + sum(
+                r.cache_misses for r in cell_results if r is not None
+            )
 
     results: Dict[str, ExperimentResult] = {}
     for definition, (name, first, count) in zip(definitions, spans):

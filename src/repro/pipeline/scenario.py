@@ -101,6 +101,12 @@ class Scenario:
             *while recording*, so the recorded schedule itself embodies the
             policy — the Section-3 deployment mode).  Ignored when
             ``slack_policy`` is ``None``.
+        backend: Simulation-engine selector for this scenario's replay
+            (registry name from :mod:`repro.sim.backend`); ``None`` defers
+            to the process default (``REPRO_BACKEND`` or ``"python"``).
+            Deliberately **not** part of any cache key: backends are
+            bit-identical by contract, so the engine choice can never change
+            a recorded schedule or a row.
     """
 
     name: str
@@ -118,6 +124,7 @@ class Scenario:
     workload_name: str = "paper-default"
     slack_policy: Optional[str] = None
     slack_mode: str = "replay"
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.core.slack_policy import SLACK_MODES

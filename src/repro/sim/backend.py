@@ -1,0 +1,217 @@
+"""The ``SimBackend`` seam: pluggable engines behind one replay contract.
+
+The OO simulator (:mod:`repro.sim.engine`, :mod:`repro.sim.port`,
+:mod:`repro.schedulers.base`) and any optimized engine implicitly share a
+narrow contract; this module makes it explicit so engines can be swapped by
+name without touching callers.  The contract has two halves:
+
+**Event-loop semantics** (what :meth:`SimBackend.make_simulator` returns):
+
+* *Advance-to-next-event*: the engine repeatedly executes the earliest
+  pending event and advances the clock to its timestamp; the clock never
+  moves backwards.
+* *Deterministic tie-breaking*: events are totally ordered by
+  ``(time, sequence)``.  Normally scheduled events draw sequence numbers
+  from an increasing non-negative counter (so same-time events fire in
+  scheduling order); ``schedule_at_front`` draws from a separate negative
+  increasing range, so front events at time ``t`` fire before *every*
+  normally scheduled event at ``t`` — including ones scheduled earlier.
+  The replay injector's streaming cursor depends on this.
+* *Cancellation is lazy but observably exact*: cancelling marks the event
+  in O(1); the entry is physically discarded only when it surfaces at the
+  heap head.  Observable semantics are nevertheless strict, however the
+  event was cancelled (``Simulator.cancel`` or a direct ``Event.cancel()``):
+  ``peek_next_time`` never returns a cancelled event's time, a cancelled
+  event never fires, and once a dead entry has been discarded it is excluded
+  from ``pending_events``.  The cross-backend contract test
+  (``tests/sim/test_backend_equivalence.py``) runs the cancel-then-peek
+  sequence against every registered backend's simulator.
+
+**Port-service semantics** (what :meth:`SimBackend.replay` must reproduce):
+
+* Store-and-forward, non-preemptive service: a port serializes one packet
+  for ``bytes * 8 / bandwidth`` seconds (that exact float expression — the
+  rows of every experiment are compared bit-for-bit), then hands it to the
+  link, which delivers it ``propagation_delay`` later.
+* Per-port scheduler order: the queued packet with the smallest key is
+  served first; ties break FIFO by per-port enqueue sequence.
+* Completion callbacks: when a transmission finishes, the downstream
+  arrival is scheduled *before* the port picks its next packet, so the
+  engine-level ``(time, seq)`` order of those two events matches the OO
+  engine's exactly.
+
+Backends register by name; ``"python"`` is the OO engine with unchanged
+behaviour, ``"vectorized"`` is the array-based replay engine
+(:mod:`repro.core.replay_vectorized`).  Builtin backends are resolved
+lazily — the providing modules live in :mod:`repro.core`, which imports
+:mod:`repro.sim`, so importing them here at module scope would cycle.
+
+See ``docs/backends.md`` for the full contract and for how to add a backend.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
+
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports sim)
+    from repro.core.schedule import Schedule
+    from repro.core.slack import ReplayInitializer
+    from repro.topology.base import Topology
+
+#: Environment variable consulted when no backend is selected explicitly.
+#: Lets CI run an unmodified test subset under another engine:
+#: ``REPRO_BACKEND=vectorized pytest tests/pipeline/test_golden_rows.py``.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: The backend used when neither the caller nor the environment selects one.
+DEFAULT_BACKEND = "python"
+
+
+class SimBackend(ABC):
+    """One simulation engine, as seen by the replay path and the pipeline.
+
+    A backend must satisfy the module-level contract: same event ordering,
+    same per-port service order, same float arithmetic — a replay of any
+    schedule must be *bit-identical* across backends (the equivalence suite
+    and the golden-rows fixtures enforce this).
+
+    Backends may decline configurations they do not implement (via
+    :meth:`supports_replay`); callers then fall back to the ``"python"``
+    reference backend, which supports everything.
+    """
+
+    #: Registry name (set by subclasses).
+    name: str = "abstract"
+
+    def make_simulator(self) -> Simulator:
+        """A fresh event-loop instance honouring the engine contract.
+
+        The default returns the reference :class:`~repro.sim.engine.Simulator`;
+        backends that accelerate only the batch replay path (and so have no
+        incremental event loop of their own) inherit it, which is also what
+        keeps the cancel-then-peek contract test meaningful for them.
+        """
+        return Simulator()
+
+    def check_available(self) -> None:
+        """Raise ``PipelineConfigError`` if the backend's dependencies are missing.
+
+        Called whenever the backend is explicitly resolved by name, so a
+        ``--backend`` request without the needed extras fails fast with a
+        clean configuration error (CLI exit 2) instead of an ImportError
+        mid-run.  The default assumes no optional dependencies.
+        """
+
+    def supports_replay(
+        self,
+        mode: str,
+        default_buffer_bytes: Optional[float] = None,
+        initializer: Optional["ReplayInitializer"] = None,
+        topology: Optional["Topology"] = None,
+    ) -> bool:
+        """Whether :meth:`replay` implements this exact configuration.
+
+        ``topology`` is the spec the replay will run on when the caller has
+        it at hand (backends may decline topology-dependent features such as
+        finite per-link buffers); ``None`` means "not yet known" and must be
+        answered optimistically — :meth:`replay` re-checks with the real
+        topology and raises if the optimism was misplaced.
+        """
+        return True
+
+    @abstractmethod
+    def replay(
+        self,
+        topology: "Topology",
+        schedule: "Schedule",
+        mode: str = "lstf",
+        default_buffer_bytes: Optional[float] = None,
+        max_events: Optional[int] = None,
+        initializer: Optional["ReplayInitializer"] = None,
+    ) -> "Schedule":
+        """Replay ``schedule`` on ``topology``; see :func:`repro.core.replay.replay_schedule`."""
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+#: Builtin backends, resolved lazily by importing the providing module
+#: (which registers itself at import time via :func:`register_backend`).
+_BUILTIN_MODULES: Dict[str, str] = {
+    "python": "repro.core.replay",
+    "vectorized": "repro.core.replay_vectorized",
+}
+
+_REGISTRY: Dict[str, Union[SimBackend, Callable[[], SimBackend]]] = {}
+_INSTANCES: Dict[str, SimBackend] = {}
+
+
+def _config_error(message: str) -> Exception:
+    """A ``PipelineConfigError`` (CLI exit 2), imported lazily.
+
+    The error type lives in :mod:`repro.pipeline.scenario`; importing it at
+    module scope would invert the sim → pipeline layering, so it is resolved
+    only on the error path.
+    """
+    from repro.pipeline.scenario import PipelineConfigError
+
+    return PipelineConfigError(message)
+
+
+def register_backend(
+    name: str, backend: Union[SimBackend, Callable[[], SimBackend]]
+) -> None:
+    """Register a backend (instance or zero-arg factory) under ``name``."""
+    _REGISTRY[name] = backend
+    _INSTANCES.pop(name, None)
+
+
+def backend_names() -> List[str]:
+    """Names of every known backend (builtin and registered)."""
+    names = set(_BUILTIN_MODULES) | set(_REGISTRY)
+    return sorted(names)
+
+
+def get_backend(name: str) -> SimBackend:
+    """The backend registered under ``name``.
+
+    Raises:
+        PipelineConfigError: if the name is unknown, or the backend's
+            dependencies are missing (e.g. ``vectorized`` without numpy).
+    """
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        module = _BUILTIN_MODULES.get(name)
+        if module is None:
+            known = ", ".join(backend_names())
+            raise _config_error(f"unknown backend {name!r}; known backends: {known}")
+        importlib.import_module(module)
+        entry = _REGISTRY.get(name)
+        if entry is None:  # pragma: no cover - a builtin forgot to register
+            raise _config_error(f"backend module {module} did not register {name!r}")
+    backend = entry if isinstance(entry, SimBackend) else entry()
+    backend.check_available()
+    _INSTANCES[name] = backend
+    return backend
+
+
+def resolve_backend(selector: Union[str, SimBackend, None]) -> SimBackend:
+    """Resolve a backend selector to an instance.
+
+    ``None`` consults the :data:`BACKEND_ENV_VAR` environment variable and
+    falls back to :data:`DEFAULT_BACKEND` (``"python"``), so an unmodified
+    caller keeps the reference engine.
+    """
+    if isinstance(selector, SimBackend):
+        return selector
+    if selector is None:
+        selector = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    return get_backend(selector)

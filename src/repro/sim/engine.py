@@ -161,8 +161,10 @@ class Simulator:
         handle cannot skew the live counter).  Cancellation is O(1) lazy
         deletion: the event is only marked, and the queue discards it when it
         reaches the top.  The live-event counter (:attr:`pending_events`) is
-        decremented immediately.  Always cancel through this method — calling
-        ``event.cancel()`` directly would skip the counter.
+        decremented immediately.  Cancelling through ``event.cancel()``
+        directly is also legal: the counter is then reconciled lazily, when
+        the dead entry surfaces at the heap head (the ``accounted`` flag
+        records which of the two paths already charged the counter).
 
         **Invariant (lazy discard):** after any sequence of cancels, the
         heap's length is an *upper bound* on :attr:`pending_events`, never
@@ -174,6 +176,7 @@ class Simulator:
         """
         if not event.cancelled:
             event.cancelled = True
+            event.accounted = True
             self._live_events -= 1
 
     def peek_next_time(self) -> Optional[float]:
@@ -182,11 +185,14 @@ class Simulator:
         Lazy-discard caveat: :meth:`cancel` only *marks* events (O(1)), so
         cancelled entries linger in the heap until they surface.  This
         method pops dead entries off the head in passing — it mutates the
-        heap *structurally*, but never the set of live events, so every
-        observable property (:attr:`pending_events`, the next live time,
-        execution order) is unchanged and the call may be treated as
-        logically read-only.  Consequently the heap's length is an upper
-        bound on — not equal to — :attr:`pending_events`.
+        heap *structurally*, but never the set of live events: the next live
+        time and execution order are unchanged, and the call may be treated
+        as logically read-only.  Consequently the heap's length is an upper
+        bound on — not equal to — :attr:`pending_events`.  Discarding a dead
+        entry whose cancellation bypassed :meth:`cancel` (a direct
+        ``event.cancel()``) also settles its live-counter charge here, so
+        :attr:`pending_events` converges to the true live count no matter
+        how the event was cancelled.
 
         **Invariant (cancel-then-peek):** cancelling the head event and then
         peeking returns the next *live* event's time, leaves
@@ -198,7 +204,10 @@ class Simulator:
         """
         heap = self._heap
         while heap and heap[0][2].cancelled:
-            heappop(heap)
+            event = heappop(heap)[2]
+            if not event.accounted:
+                event.accounted = True
+                self._live_events -= 1
         if not heap:
             return None
         return heap[0][0]
@@ -213,6 +222,9 @@ class Simulator:
         while heap:
             time, _, event = heappop(heap)
             if event.cancelled:
+                if not event.accounted:
+                    event.accounted = True
+                    self._live_events -= 1
                 continue
             # Executed events are marked cancelled ("can no longer fire") so
             # a later cancel() of a stale handle stays a counter-safe no-op.
@@ -255,6 +267,9 @@ class Simulator:
                 event = entry[2]
                 if event.cancelled:
                     pop(heap)
+                    if not event.accounted:
+                        event.accounted = True
+                        self._live_events -= 1
                     continue
                 if entry[0] > limit:
                     break

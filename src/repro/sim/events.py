@@ -16,14 +16,17 @@ class Event:
     only for explicit sorting of event lists in user code.
 
     An event can be cancelled before it fires; cancelled events are skipped by
-    the engine (lazy deletion, so cancellation is O(1)).  Cancel through
-    :meth:`repro.sim.engine.Simulator.cancel`, which also maintains the
-    engine's live-event counter.  The ``cancelled`` flag means "will not (or
-    can no longer) fire": the engine also sets it when it executes an event,
-    so cancelling a stale handle after its event fired is a safe no-op.
+    the engine (lazy deletion, so cancellation is O(1)).  Prefer cancelling
+    through :meth:`repro.sim.engine.Simulator.cancel`, which updates the
+    engine's live-event counter eagerly; calling :meth:`cancel` directly is
+    also safe — the engine reconciles the counter when the dead entry
+    surfaces at the heap head (tracked via ``accounted``).  The ``cancelled``
+    flag means "will not (or can no longer) fire": the engine also sets it
+    when it executes an event, so cancelling a stale handle after its event
+    fired is a safe no-op.
     """
 
-    __slots__ = ("time", "sequence", "callback", "args", "cancelled")
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled", "accounted")
 
     def __init__(
         self,
@@ -37,6 +40,10 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # Whether the engine's live-event counter has already been charged
+        # for this event's cancellation (set by Simulator.cancel, or by the
+        # engine when it discards a directly cancelled entry).
+        self.accounted = False
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it reaches the heap top."""

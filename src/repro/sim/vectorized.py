@@ -1,0 +1,319 @@
+"""Flat replay kernel: the OO engine's event loop, specialized for replay.
+
+This module is the inner loop of the ``"vectorized"`` backend
+(:mod:`repro.core.replay_vectorized`).  The replay path has a much smaller
+state space than the general simulator — no transports, no drops (infinite
+buffers), no preemption, source-routed packets whose ingress times, sizes,
+routes, and header keys are all known up front — so the whole OO object graph
+(``Simulator`` + ``OutputPort`` + ``Scheduler`` + ``Packet``) collapses into
+a handful of flat arrays indexed by *packet-hop* ``f``:
+
+* ``hop_port[f]`` — dense id of the directed port hop ``f`` transmits on,
+* ``hop_tx[f]`` / ``hop_prop[f]`` — transmission and propagation delays,
+  precomputed (vectorized, in the exact ``bytes * 8 / bw`` float form) by
+  the orchestrator,
+* ``hop_key[f]`` — the per-hop scheduler key for the static-key modes
+  (EDF / priority / omniscient); LSTF keys are computed inline from the
+  dynamic ``slack[j]`` state.
+
+The loop replays the OO engine's choreography *exactly*, so its output is
+bit-identical (the cross-backend equivalence suite and the golden-rows
+fixtures enforce this).  The load-bearing details, each mirroring a specific
+line of the OO code:
+
+* One global heap of ``(time, seq, code)`` triples, the event kind and its
+  operand packed into one integer ``code``: hop ``f``'s finish is ``f``,
+  the arrival at hop ``fn`` is ``total_hops + fn``, packet ``j``'s
+  destination arrival is ``2 * total_hops + j``, and the injector cursor
+  sorts above them all.  Ordering never reaches the third element
+  (sequence numbers are unique), so the packing is pure constant-factor:
+  smaller tuples to allocate and sift, and the hottest decodes take one
+  integer comparison.  Injector-cursor events draw sequence numbers from
+  the front counter (``-(1 << 62)``, increasing), finish-transmission and
+  arrival events from the normal counter — in the same order the OO
+  callbacks call ``Simulator.schedule``, so the global event order matches
+  tuple-for-tuple.
+* On finish-transmission, the downstream *arrival is pushed first* and the
+  port's next transmission second (``OutputPort._finish_transmission``
+  schedules the receive before calling ``_start_next``), which fixes the
+  relative order of those two events when their times tie.
+* Per-port priority queues hold ``(key, port_seq, f, enqueue_time)``
+  tuples — the same ``(key, sequence)`` ordering as
+  ``PriorityScheduler``'s heap, with the per-port sequence counter
+  allocated at enqueue time; the owning packet is recovered as
+  ``hop_pkt[f]``.  (Binary heaps are order-equivalent to a
+  ``numpy.lexsort`` over (key, seq) at every service instant; the heap form
+  costs O(log q) per decision instead of O(q log q), which profiling showed
+  is the difference between ~4x and ~10x on quick-scale replays.)
+* An idle port serves an arriving packet immediately (the OO invariant that
+  an idle port's queue is empty makes enqueue-then-dequeue equivalent to
+  direct service).  The LSTF dequeue-time slack update ``slack -= now -
+  enqueue_time`` is skipped in that case because the wait is exactly
+  ``0.0`` and ``x - 0.0`` is bit-identical to ``x`` for every float.
+* Destination arrivals are pure sinks — they record ``egress[j]`` and
+  schedule nothing — so when no ``max_events`` budget is in force the loop
+  settles them at finish time (``egress = t + prop``) instead of routing
+  them through the heap.  The sequence counter is still consumed and the
+  event still counted, so every other event's ``(time, seq)`` tuple and the
+  executed-event total are unchanged.  With a budget the heap path is kept,
+  because a budget exhausting *between* a finish and its arrival must leave
+  that packet in flight, exactly as on the OO engine.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import List, Optional, Tuple
+
+
+def run_flat_replay(
+    ingress: List[float],
+    off: List[int],
+    hop_pkt: List[int],
+    hop_port: List[int],
+    hop_tx: List[float],
+    hop_prop: List[float],
+    num_ports: int,
+    slack: Optional[List[float]],
+    hop_key: Optional[List[float]],
+    max_events: Optional[int] = None,
+) -> Tuple[List[float], List[float], List[float], List[Optional[float]], int]:
+    """Drive one replay to completion over flat per-packet-hop arrays.
+
+    Args:
+        ingress: Per-packet ingress times, sorted ascending (record order).
+        off: Per-packet offsets into the hop arrays (``off[j]`` is packet
+            ``j``'s first hop; ``off[n]`` is the total hop count).
+        hop_pkt: Owning packet index of each hop.
+        hop_port: Dense directed-port id of each hop.
+        hop_tx: Transmission delay of each hop (``bytes * 8 / bandwidth``).
+        hop_prop: Propagation delay of each hop's link.
+        num_ports: Number of dense port ids.
+        slack: LSTF dynamic state (``math.inf`` where the header had no
+            slack); ``None`` selects the static-key modes.  Mutated in place.
+        hop_key: Static per-hop scheduler key (EDF/priority/omniscient);
+            required when ``slack`` is ``None``.
+        max_events: Same safety valve as ``Simulator.run(max_events=...)``.
+
+    Returns:
+        ``(arrival, start_service, departure, egress, executed)`` — per-hop
+        timing arrays, per-packet egress times (``None`` if the packet was
+        still in flight when the event budget ran out), and the number of
+        events executed.
+    """
+    n = len(ingress)
+    total_hops = off[n] if n else 0
+    arr = [0.0] * total_hops
+    start = [0.0] * total_hops
+    dep = [0.0] * total_hops
+    egress: List[Optional[float]] = [None] * n
+    if not n:
+        return arr, start, dep, egress, 0
+
+    lstf = slack is not None
+    # Event codes (see the module docstring): finish(f) = f,
+    # arrival(fn) = H + fn, destination arrival(j) = H2 + j, injector = INJ
+    # — ranges ordered so the hottest branches decode with the fewest
+    # comparisons.
+    H = total_hops
+    H2 = 2 * total_hops
+    INJ = H2 + n
+    # nxt[f]: the *arrival event code* of the hop after f within its packet
+    # (H + f + 1), or -1 when f is the last hop (the arrival lands at the
+    # destination) — saves an off[] bound check and the H-offset addition
+    # on every finish event.
+    nxt = list(range(H + 1, H + total_hops + 1))
+    for j in range(n):
+        if off[j + 1] > off[j]:
+            nxt[off[j + 1] - 1] = -1
+    heap: List[tuple] = []
+    push = heappush
+    pop = heappop
+    busy = [False] * num_ports
+    port_heaps: List[List[tuple]] = [[] for _ in range(num_ports)]
+    port_seq = [0] * num_ports
+    seq = 0                  # Simulator._sequence: finish + arrival events
+    fseq = -(1 << 62)        # Simulator._front_sequence: injector cursor
+    cursor = 0
+    executed = 0
+    budgeted = max_events is not None
+    budget = max_events if budgeted else float("inf")
+
+    # ReplayInjector.install(): arm the cursor at the first ingress time.
+    push(heap, (ingress[0], fseq, INJ))
+    fseq += 1
+
+    if not budgeted:
+        # Unbudgeted fast loop: identical event choreography, but the
+        # executed-event total is derived arithmetically at the end instead
+        # of being counted per event, and the loop is terminated by the
+        # heap's own IndexError instead of a per-iteration truthiness test.
+        # ``injections`` counts only the (rare) injector-cursor pops.
+        injections = 0
+        try:
+            while True:
+                t, _s, code = pop(heap)
+
+                if code < H:
+                    # OutputPort._finish_transmission for hop f on its port.
+                    f = code
+                    dep[f] = t
+                    acode = nxt[f]
+                    # Receive is scheduled *before* the port picks its next
+                    # packet; a last hop settles at the destination directly
+                    # (same time, same seq consumption, same event count).
+                    if acode < 0:
+                        egress[hop_pkt[f]] = t + hop_prop[f]
+                    else:
+                        push(heap, (t + hop_prop[f], seq, acode))
+                    seq += 1
+                    p = hop_port[f]
+                    ph = port_heaps[p]
+                    if ph:
+                        _k, _s2, f2, et = pop(ph)
+                        if lstf:
+                            slack[hop_pkt[f2]] -= t - et
+                        start[f2] = t
+                        push(heap, (t + hop_tx[f2], seq, f2))
+                        seq += 1
+                    else:
+                        busy[p] = False
+
+                elif code < H2:
+                    # Link delivery at a router: Router.receive.
+                    fn = code - H
+                    arr[fn] = t
+                    p = hop_port[fn]
+                    if lstf:
+                        key = (slack[hop_pkt[fn]] + t) + hop_tx[fn]
+                    else:
+                        key = hop_key[fn]
+                    s = port_seq[p]
+                    port_seq[p] = s + 1
+                    if busy[p]:
+                        push(port_heaps[p], (key, s, fn, t))
+                    else:
+                        # Idle port: the queue is empty, serve immediately.
+                        start[fn] = t
+                        busy[p] = True
+                        push(heap, (t + hop_tx[fn], seq, fn))
+                        seq += 1
+
+                else:
+                    # ReplayInjector._advance: inject every record due now,
+                    # then re-arm the cursor at the next ingress time.
+                    injections += 1
+                    while cursor < n and ingress[cursor] <= t:
+                        j = cursor
+                        cursor += 1
+                        fn = off[j]
+                        arr[fn] = t
+                        p = hop_port[fn]
+                        if lstf:
+                            key = (slack[j] + t) + hop_tx[fn]
+                        else:
+                            key = hop_key[fn]
+                        s = port_seq[p]
+                        port_seq[p] = s + 1
+                        if busy[p]:
+                            push(port_heaps[p], (key, s, fn, t))
+                        else:
+                            start[fn] = t
+                            busy[p] = True
+                            push(heap, (t + hop_tx[fn], seq, fn))
+                            seq += 1
+                    if cursor < n:
+                        push(heap, (ingress[cursor], fseq, INJ))
+                        fseq += 1
+        except IndexError:
+            # The heap ran dry: the replay is complete.
+            pass
+        # Every hop contributes one finish and one arrival event (a first
+        # hop's arrival is the injection itself, a last hop's is the settled
+        # destination arrival — both counted), plus one pop per
+        # injector-cursor firing: H + (H - n) + n + injections.
+        return arr, start, dep, egress, 2 * total_hops + injections
+
+    while heap and executed < budget:
+        t, _s, code = pop(heap)
+        executed += 1
+
+        if code < H:
+            # OutputPort._finish_transmission for hop f on its port.
+            f = code
+            dep[f] = t
+            acode = nxt[f]
+            # Receive is scheduled *before* the port picks its next packet.
+            if acode < 0:
+                # Last hop: the arrival lands at the destination.  Under a
+                # budget the heap path is kept, because a budget exhausting
+                # *between* a finish and its arrival must leave the packet
+                # in flight, exactly as on the OO engine.
+                push(heap, (t + hop_prop[f], seq, H2 + hop_pkt[f]))
+            else:
+                push(heap, (t + hop_prop[f], seq, acode))
+            seq += 1
+            p = hop_port[f]
+            ph = port_heaps[p]
+            if ph:
+                _k, _s2, f2, et = pop(ph)
+                if lstf:
+                    slack[hop_pkt[f2]] -= t - et
+                start[f2] = t
+                push(heap, (t + hop_tx[f2], seq, f2))
+                seq += 1
+            else:
+                busy[p] = False
+
+        elif code < H2:
+            # Link delivery at a router: Router.receive.
+            fn = code - H
+            j = hop_pkt[fn]
+            arr[fn] = t
+            p = hop_port[fn]
+            if lstf:
+                key = (slack[j] + t) + hop_tx[fn]
+            else:
+                key = hop_key[fn]
+            s = port_seq[p]
+            port_seq[p] = s + 1
+            if busy[p]:
+                push(port_heaps[p], (key, s, fn, t))
+            else:
+                # Idle port: the queue is empty, serve immediately.
+                start[fn] = t
+                busy[p] = True
+                push(heap, (t + hop_tx[fn], seq, fn))
+                seq += 1
+
+        elif code < INJ:
+            # Link delivery at the destination: Host.receive.
+            egress[code - H2] = t
+
+        else:
+            # ReplayInjector._advance: inject every record due now, then
+            # re-arm the cursor at the next ingress time (front sequence).
+            while cursor < n and ingress[cursor] <= t:
+                j = cursor
+                cursor += 1
+                fn = off[j]
+                arr[fn] = t
+                p = hop_port[fn]
+                if lstf:
+                    key = (slack[j] + t) + hop_tx[fn]
+                else:
+                    key = hop_key[fn]
+                s = port_seq[p]
+                port_seq[p] = s + 1
+                if busy[p]:
+                    push(port_heaps[p], (key, s, fn, t))
+                else:
+                    start[fn] = t
+                    busy[p] = True
+                    push(heap, (t + hop_tx[fn], seq, fn))
+                    seq += 1
+            if cursor < n:
+                push(heap, (ingress[cursor], fseq, INJ))
+                fseq += 1
+
+    return arr, start, dep, egress, executed

@@ -146,6 +146,69 @@ class TestPayloadAndGate:
         assert regressions == [] and mismatches == []
 
 
+class TestBackendAndRss:
+    def test_peak_rss_reported(self):
+        from repro.bench import peak_rss_bytes
+
+        observed = peak_rss_bytes()
+        assert observed is None or observed > 0
+        bench = bench_experiment("table1-priority", scale="smoke", repeat=1)
+        assert bench.peak_rss_bytes == pytest.approx(observed, rel=0.5)
+        assert bench.to_dict()["peak_rss_bytes"] == bench.peak_rss_bytes
+
+    def test_backend_field_roundtrips(self):
+        bench = _bench()
+        bench.backend = "vectorized"
+        bench.peak_rss_bytes = 12345
+        clone = ExperimentBench.from_dict(bench.to_dict())
+        assert clone.backend == "vectorized"
+        assert clone.peak_rss_bytes == 12345
+
+    def test_from_dict_tolerates_pre_pr6_payloads(self):
+        data = _bench().to_dict()
+        del data["backend"]
+        del data["peak_rss_bytes"]
+        clone = ExperimentBench.from_dict(data)
+        assert clone.backend is None and clone.peak_rss_bytes is None
+
+    def test_replay_path_summary_in_payload(self):
+        report = _report(**{
+            "table1:replay@python": _bench(
+                name="table1:replay@python", wall=4.0, events=4000, digest="cc"
+            ),
+            "table1:replay@vectorized": _bench(
+                name="table1:replay@vectorized", wall=1.0, events=4000, digest="cc"
+            ),
+        })
+        payload = bench_payload(report)
+        summary = payload["replay_path"]
+        entry = summary["backends"]["table1:replay@vectorized"]
+        assert entry["events_per_sec_ratio"] == pytest.approx(4.0)
+        assert entry["rows_bit_identical"] is True
+        # Below the 10x target: the gap analysis must be embedded.
+        assert "dispatch" in entry["notes"]
+
+    def test_replay_path_summary_absent_without_groups(self):
+        payload = bench_payload(_report(table1=_bench()))
+        assert "replay_path" not in payload
+
+    def test_run_bench_includes_replay_groups_and_matches_digests(self):
+        report = run_bench(
+            ["table1-priority"], scale="smoke", repeat=1, backend="vectorized"
+        )
+        reference = report.results["table1:replay@python"]
+        candidate = report.results["table1:replay@vectorized"]
+        assert candidate.rows_digest == reference.rows_digest
+        assert candidate.events == reference.events
+        assert candidate.backend == "vectorized"
+
+    def test_run_bench_rejects_unknown_backend(self):
+        from repro.pipeline.scenario import PipelineConfigError
+
+        with pytest.raises(PipelineConfigError):
+            run_bench(["table1-priority"], scale="smoke", backend="nope")
+
+
 class TestCli:
     def test_bench_verb_writes_payload(self, tmp_path, capsys):
         out = tmp_path / "bench.json"

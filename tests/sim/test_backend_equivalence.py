@@ -1,0 +1,281 @@
+"""Cross-backend equivalence: every backend must match the reference engine.
+
+The ``SimBackend`` contract (``docs/backends.md``) is bit-identity: a replay
+run under any registered backend must produce the *exact* rows the reference
+python engine produces — same floats, same tie-breaks, same record order.
+These tests hold the vectorized backend to that contract on a recorded
+fixture schedule (the golden test) and on adversarial synthetic record sets
+(the hypothesis property test), and check the seam itself: fallback for
+unsupported configurations, clean configuration errors, and the
+cancel-then-peek lazy-discard semantics every backend's simulator must obey.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.replay import (
+    ReplayExperiment,
+    evaluate_replay,
+    replay_schedule,
+)
+from repro.core.replay_vectorized import VectorizedBackend
+from repro.core.schedule import HopTiming, PacketRecord, Schedule
+from repro.pipeline.scenario import PipelineConfigError
+from repro.sim.backend import backend_names, get_backend, resolve_backend
+from repro.topology import dumbbell_topology
+from repro.topology.base import LinkSpec, NodeSpec, Topology
+from repro.traffic import WorkloadSpec, paper_default_workload
+from repro.utils import mbps
+
+#: Modes the vectorized backend implements (lstf-preemptive falls back).
+VECTORIZED_MODES = ("lstf", "edf", "priority", "omniscient")
+
+
+def small_workload(duration=0.25, utilization=0.6):
+    return WorkloadSpec(
+        utilization=utilization,
+        reference_bandwidth_bps=mbps(10),
+        size_distribution=paper_default_workload(),
+        transport="udp",
+        duration=duration,
+    )
+
+
+@pytest.fixture(scope="module")
+def fixture_topology():
+    return dumbbell_topology(4, mbps(10), mbps(100))
+
+
+@pytest.fixture(scope="module")
+def recorded_schedule(fixture_topology):
+    """A real recorded schedule: the golden fixture for bit-identity."""
+    experiment = ReplayExperiment(
+        fixture_topology,
+        "random",
+        small_workload(),
+        seed=5,
+        sources=[f"src{i}" for i in range(4)],
+        destinations=[f"dst{i}" for i in range(4)],
+    )
+    return experiment.record()
+
+
+def rows(schedule: Schedule):
+    return [record.to_dict() for record in schedule.records()]
+
+
+# --------------------------------------------------------------------- #
+# Golden fixture: bit-identical rows on a real recorded schedule
+# --------------------------------------------------------------------- #
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("mode", VECTORIZED_MODES)
+    def test_rows_bit_identical(self, fixture_topology, recorded_schedule, mode):
+        assert VectorizedBackend().supports_replay(mode, topology=fixture_topology)
+        reference = replay_schedule(
+            fixture_topology, recorded_schedule, mode=mode, backend="python"
+        )
+        candidate = replay_schedule(
+            fixture_topology, recorded_schedule, mode=mode, backend="vectorized"
+        )
+        # Exact equality, not approx: the contract is bit-identity.
+        assert rows(candidate) == rows(reference)
+
+    def test_metrics_identical(self, fixture_topology, recorded_schedule):
+        reference = evaluate_replay(
+            fixture_topology, recorded_schedule, mode="lstf", backend="python"
+        )
+        candidate = evaluate_replay(
+            fixture_topology, recorded_schedule, mode="lstf", backend="vectorized"
+        )
+        assert candidate.overdue_fraction == reference.overdue_fraction
+        assert (
+            candidate.overdue_beyond_threshold_fraction
+            == reference.overdue_beyond_threshold_fraction
+        )
+
+    def test_empty_schedule(self, fixture_topology):
+        replayed = replay_schedule(
+            fixture_topology, Schedule(), mode="lstf", backend="vectorized"
+        )
+        assert len(replayed) == 0
+
+
+# --------------------------------------------------------------------- #
+# Property test: synthetic record sets, adversarial ties included
+# --------------------------------------------------------------------- #
+@st.composite
+def record_sets(draw, paths):
+    """A list of synthetic PacketRecords routed over ``paths``.
+
+    Ingress times are drawn from a tiny grid so identical timestamps — the
+    tie-breaking cases the ``(time, seq)`` contract exists for — occur
+    constantly rather than never.
+    """
+    count = draw(st.integers(min_value=0, max_value=12))
+    records = []
+    for packet_id in range(count):
+        path = list(draw(st.sampled_from(paths)))
+        ingress = draw(st.sampled_from([0.0, 1e-4, 2e-4, 1e-3]))
+        span = draw(st.floats(min_value=1e-6, max_value=0.5, allow_nan=False))
+        size = draw(st.floats(min_value=40.0, max_value=9000.0, allow_nan=False))
+        hops = []
+        t = ingress
+        for node in path[:-1]:
+            wait = draw(st.sampled_from([0.0, 1e-5]))
+            start = draw(st.sampled_from([True, True, False]))
+            hops.append(
+                HopTiming(
+                    node=node,
+                    arrival_time=t,
+                    start_service_time=t + wait if start else None,
+                    departure_time=t + wait + 1e-5,
+                )
+            )
+            t += wait + 1e-5
+        records.append(
+            PacketRecord(
+                packet_id=packet_id,
+                flow_id=draw(st.integers(min_value=0, max_value=3)),
+                src=path[0],
+                dst=path[-1],
+                size_bytes=size,
+                ingress_time=ingress,
+                output_time=ingress + span,
+                path=path,
+                hops=hops,
+                flow_size_bytes=draw(
+                    st.one_of(
+                        st.none(),
+                        st.floats(min_value=40.0, max_value=1e6, allow_nan=False),
+                    )
+                ),
+                deadline=draw(
+                    st.one_of(
+                        st.none(),
+                        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                    )
+                ),
+            )
+        )
+    return records
+
+
+class TestPropertyEquivalence:
+    @pytest.mark.parametrize("mode", VECTORIZED_MODES)
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_random_record_sets(
+        self, fixture_topology, recorded_schedule, mode, data
+    ):
+        # Harvest real source-routed paths so every synthetic record is
+        # routable on the fixture topology.
+        paths = sorted({tuple(r.path) for r in recorded_schedule.records()})
+        records = data.draw(record_sets(paths))
+        schedule = Schedule()
+        for record in records:
+            schedule.add(record)
+        reference = replay_schedule(
+            fixture_topology, schedule, mode=mode, backend="python"
+        )
+        candidate = replay_schedule(
+            fixture_topology, schedule, mode=mode, backend="vectorized"
+        )
+        assert rows(candidate) == rows(reference)
+
+
+# --------------------------------------------------------------------- #
+# The seam: fallback, selection, and configuration errors
+# --------------------------------------------------------------------- #
+class TestBackendSeam:
+    def test_unsupported_mode_falls_back(self, fixture_topology, recorded_schedule):
+        backend = VectorizedBackend()
+        assert not backend.supports_replay(
+            "lstf-preemptive", topology=fixture_topology
+        )
+        # replay_schedule silently routes the run to the reference engine.
+        reference = replay_schedule(
+            fixture_topology, recorded_schedule, mode="lstf-preemptive",
+            backend="python",
+        )
+        candidate = replay_schedule(
+            fixture_topology, recorded_schedule, mode="lstf-preemptive",
+            backend="vectorized",
+        )
+        assert rows(candidate) == rows(reference)
+
+    def test_finite_buffers_decline(self):
+        topo = Topology(
+            name="finite-buffers",
+            nodes=[NodeSpec("a", "host"), NodeSpec("r", "router"), NodeSpec("b", "host")],
+            links=[
+                LinkSpec("a", "r", mbps(10), 0.001, buffer_bytes=15000),
+                LinkSpec("r", "b", mbps(10), 0.001),
+            ],
+        )
+        assert not VectorizedBackend().supports_replay("lstf", topology=topo)
+
+    def test_finite_default_buffer_declines(self, fixture_topology):
+        backend = VectorizedBackend()
+        assert not backend.supports_replay(
+            "lstf", default_buffer_bytes=15000.0, topology=fixture_topology
+        )
+
+    def test_unknown_backend_raises(self, fixture_topology, recorded_schedule):
+        with pytest.raises(PipelineConfigError, match="unknown backend"):
+            replay_schedule(
+                fixture_topology, recorded_schedule, mode="lstf", backend="nope"
+            )
+
+    def test_scenario_backend_threads_through(self, monkeypatch):
+        """``Scenario.backend`` reaches the backend seam on the replay leg."""
+        import dataclasses
+
+        from repro.experiments.config import ExperimentScale
+        from repro.experiments.table1 import default_scenario
+        from repro.pipeline.experiment import replay_scenario
+
+        calls = []
+        original = VectorizedBackend.replay
+
+        def spy(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(VectorizedBackend, "replay", spy)
+        scenario = dataclasses.replace(
+            default_scenario(ExperimentScale.quick()), backend="vectorized"
+        )
+        result = replay_scenario(scenario)
+        assert calls, "scenario.backend never reached the vectorized backend"
+        assert result.metrics.total_packets > 0
+
+
+# --------------------------------------------------------------------- #
+# Engine contract: cancel-then-peek across every backend's simulator
+# --------------------------------------------------------------------- #
+class TestSimulatorContract:
+    @pytest.mark.parametrize("name", sorted(backend_names()))
+    def test_cancel_then_peek(self, name):
+        """A directly cancelled event must not shadow live ones (lazy-discard
+        reconciliation — the PR's contract addition)."""
+        try:
+            sim = get_backend(name).make_simulator()
+        except PipelineConfigError:
+            pytest.skip(f"backend {name!r} unavailable in this environment")
+        fired = []
+        first = sim.schedule(1.0, lambda: fired.append("first"))
+        sim.schedule(2.0, lambda: fired.append("second"))
+        first.cancel()
+        assert sim.peek_next_time() == 2.0
+        sim.run()
+        assert fired == ["second"]
+        assert sim.now == 2.0
+
+    def test_resolve_backend_passthrough(self):
+        backend = resolve_backend("python")
+        assert resolve_backend(backend) is backend

@@ -256,3 +256,51 @@ def test_cancel_every_event_then_peek_returns_none():
     assert len(sim._heap) == 0  # peek drained every dead entry
     sim.run()  # nothing left to execute
     assert sim.events_processed == 0
+
+
+def test_direct_event_cancel_reconciles_on_peek():
+    """Cancelling via ``event.cancel()`` (bypassing ``Simulator.cancel``) must
+    not leave the live counter permanently stale: peek never reports the dead
+    head, and discarding it settles the counter charge."""
+    sim = Simulator()
+    fired = []
+    head = sim.schedule(1.0, fired.append, "dead")
+    sim.schedule(2.0, fired.append, "live")
+    head.cancel()  # the direct path: live counter not yet charged
+    assert sim.pending_events == 2  # stale until the dead entry surfaces
+    assert sim.peek_next_time() == 2.0  # never a cancelled event's time
+    assert sim.pending_events == 1  # discard settled the charge
+    assert sim.peek_next_time() == 2.0  # idempotent; no double decrement
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == ["live"]
+    assert sim.pending_events == 0
+
+
+def test_direct_event_cancel_reconciles_in_run_and_step():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a").cancel()
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["b"]
+    assert sim.pending_events == 0
+    # Same through step(): the dead head is skipped and accounted exactly once.
+    sim.schedule(3.0, fired.append, "c").cancel()
+    sim.schedule(4.0, fired.append, "d")
+    assert sim.step()
+    assert fired == ["b", "d"]
+    assert sim.pending_events == 0
+
+
+def test_mixed_direct_and_engine_cancel_charges_counter_once():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    sim.cancel(event)  # no-op on an already-cancelled event
+    assert sim.pending_events == 2  # direct cancel: not yet reconciled
+    assert sim.peek_next_time() == 2.0
+    assert sim.pending_events == 1  # charged exactly once
+    sim.run()
+    assert sim.pending_events == 0

@@ -35,8 +35,8 @@ class TestDocsLinkGate:
 
     def test_docs_directory_is_covered(self):
         result = run_tool("check_docs.py")
-        # README + architecture + cli + experiments + slack-policies.
-        assert "5 file(s)" in result.stdout
+        # README + architecture + backends + cli + experiments + slack-policies.
+        assert "6 file(s)" in result.stdout
 
     def test_broken_relative_link_fails(self, tmp_path):
         offender = tmp_path / "bad.md"
