@@ -1,0 +1,37 @@
+"""Build hook for the optional compiled replay kernel.
+
+All project metadata lives in ``pyproject.toml``; this file exists only to
+declare the C extension behind the ``"compiled"`` simulation backend
+(``repro.sim._kernel``, see ``docs/backends.md``).  The extension is marked
+``optional``: on a machine without a C toolchain (or Python headers) the
+build is skipped with a warning and the install completes pure-Python —
+``repro.sim.compiled`` then reports the kernel as unavailable and the
+backend registry declines ``"compiled"`` gracefully.
+
+For a PYTHONPATH-based checkout (no install), build the kernel in place
+with ``python tools/build_compiled.py`` (wraps ``build_ext --inplace``).
+"""
+
+import sys
+
+from setuptools import Extension, setup
+
+if sys.platform == "win32":
+    # MSVC: strict IEEE-754 double semantics (no contraction/reassociation).
+    extra_compile_args = ["/fp:strict"]
+else:
+    # -ffp-contract=off: no FMA contraction — the kernel's float additions
+    # must evaluate exactly as CPython would (bit-identity contract).  The
+    # kernel contains no multiplications, so this is belt-and-braces.
+    extra_compile_args = ["-O2", "-ffp-contract=off", "-fno-fast-math"]
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.sim._kernel",
+            sources=["src/repro/sim/_kernel.c"],
+            extra_compile_args=extra_compile_args,
+            optional=True,
+        )
+    ]
+)

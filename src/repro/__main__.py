@@ -14,6 +14,7 @@ Subcommands:
       python -m repro list --scale quick
       python -m repro list --workloads
       python -m repro list --slack-policies
+      python -m repro list --backends
 
 * ``record`` — record one scenario's original schedule to a file (the file
   carries the topology spec, so it is self-contained)::
@@ -70,8 +71,9 @@ def _add_backend_argument(parser) -> None:
     parser.add_argument(
         "--backend",
         default=None,
-        help="simulation engine for replays: python (reference) or "
-        "vectorized (numpy fast path; bit-identical rows). Default: "
+        help="simulation engine for replays: python (reference), vectorized "
+        "(numpy fast path), or compiled (native kernel; optional build) — "
+        "all bit-identical rows; see `list --backends`. Default: "
         "$REPRO_BACKEND or python. See docs/backends.md",
     )
 
@@ -183,8 +185,41 @@ def _slack_policy_entries() -> List[dict]:
     return entries
 
 
+def _backend_entries() -> List[dict]:
+    from repro.sim.backend import describe_backends
+
+    return describe_backends()
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.pipeline.experiment import default_registry
+
+    if args.backends:
+        entries = _backend_entries()
+        if args.json:
+            print(json.dumps(entries, indent=2))
+            return 0
+        name_width = max(len(e["name"]) for e in entries)
+        print(f"{len(entries)} backend(s) in the registry:")
+        for entry in entries:
+            status = "available" if entry["available"] else "UNAVAILABLE"
+            print(f"  {entry['name']:<{name_width}}  {status:<11}  {entry['replay_note']}")
+            if not entry["available"]:
+                print(f"  {'':<{name_width}}  reason: {entry['reason']}")
+            elif entry["build"]:
+                build = entry["build"]
+                built_with = ", ".join(
+                    f"{key}={build[key]}"
+                    for key in ("toolchain", "compiler", "kernel_version")
+                    if build.get(key) is not None
+                )
+                print(f"  {'':<{name_width}}  build: {built_with}")
+        print(
+            "\nselect with `--backend <name>` on run/replay/bench or "
+            "$REPRO_BACKEND; unavailable backends decline and replays fall "
+            "back to the reference engine (docs/backends.md)"
+        )
+        return 0
 
     if args.slack_policies:
         entries = _slack_policy_entries()
@@ -536,6 +571,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the slack-policy registry (name, kind, parameters) "
         "instead of experiments",
+    )
+    list_parser.add_argument(
+        "--backends",
+        action="store_true",
+        help="list the simulation-backend registry (name, availability with "
+        "reason, replay-support note, build metadata) instead of experiments",
     )
     list_parser.add_argument("--json", action="store_true", help="emit JSON")
     list_parser.set_defaults(func=cmd_list)

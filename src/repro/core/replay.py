@@ -207,6 +207,10 @@ class PythonBackend(SimBackend):
     """
 
     name = "python"
+    replay_note = (
+        "reference OO engine; supports every replay configuration "
+        "(all modes, finite buffers, preemption, custom initializers)"
+    )
 
     def replay(
         self,

@@ -1,0 +1,83 @@
+"""The ``"compiled"`` replay backend: the flat kernel as native code.
+
+Same orchestration as the ``"vectorized"`` backend — numpy batch precompute
+of every per-hop float (exact ``bytes * 8 / bw`` forms), cached flattening,
+bulk schedule rebuild — but the inner event loop runs in the compiled
+kernel extension (:mod:`repro.sim._kernel`, a hand-written CPython C
+extension transliterating :func:`repro.sim.vectorized.run_flat_replay`; see
+``_kernel.c`` for the bit-identity argument).  The backend therefore
+inherits the vectorized backend's entire contract surface: the same
+``supports_replay`` fast path (non-preemptive key modes, infinite buffers),
+the same fallback behaviour, and the same equivalence and golden-rows gates
+— only :meth:`VectorizedBackend._kernel` is swapped.
+
+Availability is a *build* question, not an install question: the extension
+is an optional build (``setup.py`` marks it ``optional=True``), so
+environments without a C toolchain simply never have it.
+:meth:`CompiledBackend.check_available` reports the precise reason
+(missing numpy, or the unbuilt kernel with build instructions) via
+``PipelineConfigError`` — CLI exit 2 — and ``replay_schedule`` falls back
+per the seam contract everywhere the backend is not explicitly selected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.replay_vectorized import VectorizedBackend
+from repro.core.slack import ReplayInitializer
+from repro.sim.backend import register_backend
+from repro.sim.compiled import (
+    kernel_available,
+    kernel_build_info,
+    kernel_run_flat_replay,
+    unavailable_reason,
+)
+from repro.topology.base import Topology
+
+
+def _config_error(message: str) -> Exception:
+    from repro.pipeline.scenario import PipelineConfigError
+
+    return PipelineConfigError(message)
+
+
+class CompiledBackend(VectorizedBackend):
+    """The vectorized backend's orchestration driving the native kernel."""
+
+    name = "compiled"
+    replay_note = (
+        "replay fast path (lstf/edf/priority/omniscient, infinite buffers); "
+        "native C event loop (optional build: tools/build_compiled.py)"
+    )
+
+    def check_available(self) -> None:
+        """Missing numpy *or* an unbuilt kernel extension both decline."""
+        super().check_available()  # numpy (shared with vectorized)
+        if not kernel_available():
+            raise _config_error(f"backend 'compiled' is unavailable: {unavailable_reason()}")
+
+    def supports_replay(
+        self,
+        mode: str,
+        default_buffer_bytes: Optional[float] = None,
+        initializer: Optional[ReplayInitializer] = None,
+        topology: Optional[Topology] = None,
+    ) -> bool:
+        """The vectorized fast path, gated additionally on the built kernel."""
+        return kernel_available() and super().supports_replay(
+            mode,
+            default_buffer_bytes=default_buffer_bytes,
+            initializer=initializer,
+            topology=topology,
+        )
+
+    def build_info(self) -> Optional[dict]:
+        """Kernel build metadata for the bench payload."""
+        return kernel_build_info()
+
+    def _kernel(self, *args, **kwargs):
+        return kernel_run_flat_replay()(*args, **kwargs)
+
+
+register_backend("compiled", CompiledBackend)

@@ -197,11 +197,25 @@ class VectorizedBackend(SimBackend):
     """Array-based replay engine; bit-identical to ``"python"``, much faster."""
 
     name = "vectorized"
+    replay_note = (
+        "replay fast path (lstf/edf/priority/omniscient, infinite buffers); "
+        "numpy batch precompute + pure-python flat event loop"
+    )
 
     #: Replay modes with a flat-loop key model.  ``lstf-preemptive`` is
     #: excluded: preemption re-opens in-flight transmissions, which the flat
     #: loop does not model (the python backend handles it).
     SUPPORTED_MODES = frozenset({"lstf", "edf", "priority", "omniscient"})
+
+    def _kernel(self, *args, **kwargs):
+        """The flat event loop this backend drives.
+
+        The seam the ``"compiled"`` backend overrides: everything else —
+        flattening, batch header initialization, schedule rebuild — is
+        shared orchestration, so a backend swaps engines by swapping this
+        one call (:mod:`repro.core.replay_compiled`).
+        """
+        return run_flat_replay(*args, **kwargs)
 
     def check_available(self) -> None:
         if _np is None:
@@ -321,7 +335,7 @@ class VectorizedBackend(SimBackend):
         if gc_was_enabled:
             gc.disable()
         try:
-            arr, start, dep, egress, executed = run_flat_replay(
+            arr, start, dep, egress, executed = self._kernel(
                 ingress,
                 off,
                 hop_pkt,

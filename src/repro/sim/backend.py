@@ -42,7 +42,10 @@ name without touching callers.  The contract has two halves:
 
 Backends register by name; ``"python"`` is the OO engine with unchanged
 behaviour, ``"vectorized"`` is the array-based replay engine
-(:mod:`repro.core.replay_vectorized`).  Builtin backends are resolved
+(:mod:`repro.core.replay_vectorized`), and ``"compiled"`` is the same
+orchestration driving the native kernel extension
+(:mod:`repro.core.replay_compiled`; an optional build that declines
+gracefully when the extension is absent).  Builtin backends are resolved
 lazily — the providing modules live in :mod:`repro.core`, which imports
 :mod:`repro.sim`, so importing them here at module scope would cycle.
 
@@ -88,6 +91,9 @@ class SimBackend(ABC):
     #: Registry name (set by subclasses).
     name: str = "abstract"
 
+    #: One-line replay-support note for ``python -m repro list --backends``.
+    replay_note: str = "no replay note"
+
     def make_simulator(self) -> Simulator:
         """A fresh event-loop instance honouring the engine contract.
 
@@ -106,6 +112,16 @@ class SimBackend(ABC):
         clean configuration error (CLI exit 2) instead of an ImportError
         mid-run.  The default assumes no optional dependencies.
         """
+
+    def build_info(self) -> Optional[dict]:
+        """Build metadata for bench payloads (compiler, toolchain, ...).
+
+        ``None`` means the backend has no build step (pure Python); the
+        compiled backend reports the compiler and toolchain that produced
+        its kernel extension, so committed ``BENCH_*.json`` files state
+        what, exactly, was measured.
+        """
+        return None
 
     def supports_replay(
         self,
@@ -145,6 +161,7 @@ class SimBackend(ABC):
 _BUILTIN_MODULES: Dict[str, str] = {
     "python": "repro.core.replay",
     "vectorized": "repro.core.replay_vectorized",
+    "compiled": "repro.core.replay_compiled",
 }
 
 _REGISTRY: Dict[str, Union[SimBackend, Callable[[], SimBackend]]] = {}
@@ -177,30 +194,82 @@ def backend_names() -> List[str]:
     return sorted(names)
 
 
-def get_backend(name: str) -> SimBackend:
-    """The backend registered under ``name``.
+def _instantiate(name: str) -> SimBackend:
+    """Construct the backend registered under ``name``, availability unchecked.
 
-    Raises:
-        PipelineConfigError: if the name is unknown, or the backend's
-            dependencies are missing (e.g. ``vectorized`` without numpy).
+    Distinguishes the two failure classes the CLI reports differently:
+    a name nobody registered raises "unknown backend" (with the registered
+    names listed), while a registered backend whose dependencies are missing
+    is *instantiable* — only :meth:`SimBackend.check_available` fails, which
+    is what lets ``list --backends`` show unavailable backends with their
+    reasons instead of erroring out.
     """
-    instance = _INSTANCES.get(name)
-    if instance is not None:
-        return instance
     entry = _REGISTRY.get(name)
     if entry is None:
         module = _BUILTIN_MODULES.get(name)
         if module is None:
             known = ", ".join(backend_names())
-            raise _config_error(f"unknown backend {name!r}; known backends: {known}")
+            raise _config_error(
+                f"unknown backend {name!r}; registered backends: {known} "
+                "(see `python -m repro list --backends`)"
+            )
         importlib.import_module(module)
         entry = _REGISTRY.get(name)
         if entry is None:  # pragma: no cover - a builtin forgot to register
             raise _config_error(f"backend module {module} did not register {name!r}")
-    backend = entry if isinstance(entry, SimBackend) else entry()
+    return entry if isinstance(entry, SimBackend) else entry()
+
+
+def get_backend(name: str) -> SimBackend:
+    """The backend registered under ``name``.
+
+    Raises:
+        PipelineConfigError: if the name is unknown ("unknown backend ...",
+            listing the registered names), or the backend is registered but
+            unavailable — missing dependency or unbuilt extension — in which
+            case the message names the backend and carries the precise
+            reason (e.g. ``vectorized`` without numpy, ``compiled`` without
+            the built kernel).  Both exit 2 at the CLI.
+    """
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    backend = _instantiate(name)
     backend.check_available()
     _INSTANCES[name] = backend
     return backend
+
+
+def describe_backends() -> List[dict]:
+    """Availability report for every registered backend (CLI ``list --backends``).
+
+    Returns one entry per name: ``{"name", "available", "reason",
+    "replay_note", "build"}`` — ``reason`` is the ``check_available``
+    failure message when unavailable (``None`` otherwise), ``build`` the
+    backend's build metadata when it reports any.  Never raises for an
+    unavailable backend; unknown names cannot occur (the listing *is* the
+    registry).
+    """
+    from repro.pipeline.scenario import PipelineConfigError
+
+    entries = []
+    for name in backend_names():
+        backend = _instantiate(name)
+        reason: Optional[str] = None
+        try:
+            backend.check_available()
+        except PipelineConfigError as error:
+            reason = str(error)
+        entries.append(
+            {
+                "name": name,
+                "available": reason is None,
+                "reason": reason,
+                "replay_note": backend.replay_note,
+                "build": backend.build_info() if reason is None else None,
+            }
+        )
+    return entries
 
 
 def resolve_backend(selector: Union[str, SimBackend, None]) -> SimBackend:

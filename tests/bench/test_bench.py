@@ -209,6 +209,75 @@ class TestBackendAndRss:
             run_bench(["table1-priority"], scale="smoke", backend="nope")
 
 
+class TestThreeWayReplayComparison:
+    """The replay-path bench compares every backend this environment can run."""
+
+    def test_available_replay_backends_reference_first(self):
+        from repro.bench.harness import available_replay_backends
+
+        names = available_replay_backends()
+        assert names[0] == "python"
+        assert "vectorized" in names
+        # compiled appears exactly when its kernel is built — never errors.
+        from repro.sim.compiled import kernel_available
+
+        assert ("compiled" in names) == kernel_available()
+
+    def test_compiled_gap_note_reflects_native_loop(self):
+        """The gap analysis is per backend: compiled's remaining wall time is
+        Python orchestration, not interpreter dispatch in the event loop."""
+        report = _report(**{
+            "table1:replay@python": _bench(
+                name="table1:replay@python", wall=8.0, events=8000, digest="cc"
+            ),
+            "table1:replay@compiled": _bench(
+                name="table1:replay@compiled", wall=1.0, events=8000, digest="cc"
+            ),
+        })
+        payload = bench_payload(report)
+        entry = payload["replay_path"]["backends"]["table1:replay@compiled"]
+        assert entry["events_per_sec_ratio"] == pytest.approx(8.0)
+        assert "native" in entry["notes"]
+        assert "dispatch" not in entry["notes"]
+
+    def test_replay_path_summary_carries_build_metadata_when_built(self):
+        from repro.sim.compiled import kernel_available
+
+        if not kernel_available():
+            pytest.skip(
+                "compiled kernel extension not built; build it with "
+                "`python tools/build_compiled.py` (requires a C toolchain)"
+            )
+        report = _report(**{
+            "table1:replay@python": _bench(
+                name="table1:replay@python", wall=2.0, events=2000, digest="cc"
+            ),
+            "table1:replay@compiled": _bench(
+                name="table1:replay@compiled", wall=1.0, events=2000, digest="cc"
+            ),
+        })
+        entry = bench_payload(report)["replay_path"]["backends"][
+            "table1:replay@compiled"
+        ]
+        assert entry["build"]["toolchain"] == "cpython-c-api"
+        assert entry["build"]["compiler"]
+
+    def test_run_bench_compiled_group_bit_identical(self):
+        from repro.sim.compiled import kernel_available
+
+        if not kernel_available():
+            pytest.skip(
+                "compiled kernel extension not built; build it with "
+                "`python tools/build_compiled.py` (requires a C toolchain)"
+            )
+        report = run_bench(["table1-priority"], scale="smoke", repeat=1)
+        reference = report.results["table1:replay@python"]
+        candidate = report.results["table1:replay@compiled"]
+        assert candidate.rows_digest == reference.rows_digest
+        assert candidate.events == reference.events
+        assert candidate.backend == "compiled"
+
+
 class TestCli:
     def test_bench_verb_writes_payload(self, tmp_path, capsys):
         out = tmp_path / "bench.json"

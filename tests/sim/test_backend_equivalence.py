@@ -19,17 +19,40 @@ from repro.core.replay import (
     evaluate_replay,
     replay_schedule,
 )
+from repro.core.replay_compiled import CompiledBackend
 from repro.core.replay_vectorized import VectorizedBackend
 from repro.core.schedule import HopTiming, PacketRecord, Schedule
 from repro.pipeline.scenario import PipelineConfigError
 from repro.sim.backend import backend_names, get_backend, resolve_backend
+from repro.sim.compiled import kernel_available
 from repro.topology import dumbbell_topology
 from repro.topology.base import LinkSpec, NodeSpec, Topology
 from repro.traffic import WorkloadSpec, paper_default_workload
 from repro.utils import mbps
 
-#: Modes the vectorized backend implements (lstf-preemptive falls back).
+#: Modes the flat-kernel backends implement (lstf-preemptive falls back).
 VECTORIZED_MODES = ("lstf", "edf", "priority", "omniscient")
+
+#: Backend classes under equivalence test, keyed by registry name.  The
+#: compiled backend is skip-marked — not silently dropped — when its kernel
+#: extension is not built, so a toolchain-less environment reports the gap.
+OPTIMIZED_BACKEND_CLASSES = {
+    "vectorized": VectorizedBackend,
+    "compiled": CompiledBackend,
+}
+
+OPTIMIZED_BACKENDS = (
+    pytest.param("vectorized", id="vectorized"),
+    pytest.param(
+        "compiled",
+        id="compiled",
+        marks=pytest.mark.skipif(
+            not kernel_available(),
+            reason="compiled kernel extension not built; build it with "
+            "`python tools/build_compiled.py` (requires a C toolchain)",
+        ),
+    ),
+)
 
 
 def small_workload(duration=0.25, utilization=0.6):
@@ -69,24 +92,29 @@ def rows(schedule: Schedule):
 # Golden fixture: bit-identical rows on a real recorded schedule
 # --------------------------------------------------------------------- #
 class TestGoldenEquivalence:
+    @pytest.mark.parametrize("backend", OPTIMIZED_BACKENDS)
     @pytest.mark.parametrize("mode", VECTORIZED_MODES)
-    def test_rows_bit_identical(self, fixture_topology, recorded_schedule, mode):
-        assert VectorizedBackend().supports_replay(mode, topology=fixture_topology)
+    def test_rows_bit_identical(
+        self, fixture_topology, recorded_schedule, mode, backend
+    ):
+        backend_cls = OPTIMIZED_BACKEND_CLASSES[backend]
+        assert backend_cls().supports_replay(mode, topology=fixture_topology)
         reference = replay_schedule(
             fixture_topology, recorded_schedule, mode=mode, backend="python"
         )
         candidate = replay_schedule(
-            fixture_topology, recorded_schedule, mode=mode, backend="vectorized"
+            fixture_topology, recorded_schedule, mode=mode, backend=backend
         )
         # Exact equality, not approx: the contract is bit-identity.
         assert rows(candidate) == rows(reference)
 
-    def test_metrics_identical(self, fixture_topology, recorded_schedule):
+    @pytest.mark.parametrize("backend", OPTIMIZED_BACKENDS)
+    def test_metrics_identical(self, fixture_topology, recorded_schedule, backend):
         reference = evaluate_replay(
             fixture_topology, recorded_schedule, mode="lstf", backend="python"
         )
         candidate = evaluate_replay(
-            fixture_topology, recorded_schedule, mode="lstf", backend="vectorized"
+            fixture_topology, recorded_schedule, mode="lstf", backend=backend
         )
         assert candidate.overdue_fraction == reference.overdue_fraction
         assert (
@@ -94,11 +122,34 @@ class TestGoldenEquivalence:
             == reference.overdue_beyond_threshold_fraction
         )
 
-    def test_empty_schedule(self, fixture_topology):
+    @pytest.mark.parametrize("backend", OPTIMIZED_BACKENDS)
+    def test_empty_schedule(self, fixture_topology, backend):
         replayed = replay_schedule(
-            fixture_topology, Schedule(), mode="lstf", backend="vectorized"
+            fixture_topology, Schedule(), mode="lstf", backend=backend
         )
         assert len(replayed) == 0
+
+    @pytest.mark.parametrize("backend", OPTIMIZED_BACKENDS)
+    def test_max_events_budget_bit_identical(
+        self, fixture_topology, recorded_schedule, backend
+    ):
+        """An exhausted event budget must strand the same in-flight packets."""
+        reference = replay_schedule(
+            fixture_topology,
+            recorded_schedule,
+            mode="lstf",
+            backend="python",
+            max_events=500,
+        )
+        candidate = replay_schedule(
+            fixture_topology,
+            recorded_schedule,
+            mode="lstf",
+            backend=backend,
+            max_events=500,
+        )
+        assert rows(candidate) == rows(reference)
+        assert len(reference) < len(recorded_schedule)
 
 
 # --------------------------------------------------------------------- #
@@ -162,6 +213,7 @@ def record_sets(draw, paths):
 
 
 class TestPropertyEquivalence:
+    @pytest.mark.parametrize("backend", OPTIMIZED_BACKENDS)
     @pytest.mark.parametrize("mode", VECTORIZED_MODES)
     @settings(
         max_examples=25,
@@ -170,7 +222,7 @@ class TestPropertyEquivalence:
     )
     @given(data=st.data())
     def test_random_record_sets(
-        self, fixture_topology, recorded_schedule, mode, data
+        self, fixture_topology, recorded_schedule, mode, backend, data
     ):
         # Harvest real source-routed paths so every synthetic record is
         # routable on the fixture topology.
@@ -183,7 +235,7 @@ class TestPropertyEquivalence:
             fixture_topology, schedule, mode=mode, backend="python"
         )
         candidate = replay_schedule(
-            fixture_topology, schedule, mode=mode, backend="vectorized"
+            fixture_topology, schedule, mode=mode, backend=backend
         )
         assert rows(candidate) == rows(reference)
 
@@ -192,9 +244,12 @@ class TestPropertyEquivalence:
 # The seam: fallback, selection, and configuration errors
 # --------------------------------------------------------------------- #
 class TestBackendSeam:
-    def test_unsupported_mode_falls_back(self, fixture_topology, recorded_schedule):
-        backend = VectorizedBackend()
-        assert not backend.supports_replay(
+    @pytest.mark.parametrize("backend", OPTIMIZED_BACKENDS)
+    def test_unsupported_mode_falls_back(
+        self, fixture_topology, recorded_schedule, backend
+    ):
+        instance = OPTIMIZED_BACKEND_CLASSES[backend]()
+        assert not instance.supports_replay(
             "lstf-preemptive", topology=fixture_topology
         )
         # replay_schedule silently routes the run to the reference engine.
@@ -204,11 +259,12 @@ class TestBackendSeam:
         )
         candidate = replay_schedule(
             fixture_topology, recorded_schedule, mode="lstf-preemptive",
-            backend="vectorized",
+            backend=backend,
         )
         assert rows(candidate) == rows(reference)
 
-    def test_finite_buffers_decline(self):
+    @pytest.mark.parametrize("name", sorted(OPTIMIZED_BACKEND_CLASSES))
+    def test_finite_buffers_decline(self, name):
         topo = Topology(
             name="finite-buffers",
             nodes=[NodeSpec("a", "host"), NodeSpec("r", "router"), NodeSpec("b", "host")],
@@ -217,10 +273,13 @@ class TestBackendSeam:
                 LinkSpec("r", "b", mbps(10), 0.001),
             ],
         )
-        assert not VectorizedBackend().supports_replay("lstf", topology=topo)
+        assert not OPTIMIZED_BACKEND_CLASSES[name]().supports_replay(
+            "lstf", topology=topo
+        )
 
-    def test_finite_default_buffer_declines(self, fixture_topology):
-        backend = VectorizedBackend()
+    @pytest.mark.parametrize("name", sorted(OPTIMIZED_BACKEND_CLASSES))
+    def test_finite_default_buffer_declines(self, fixture_topology, name):
+        backend = OPTIMIZED_BACKEND_CLASSES[name]()
         assert not backend.supports_replay(
             "lstf", default_buffer_bytes=15000.0, topology=fixture_topology
         )
@@ -265,8 +324,8 @@ class TestSimulatorContract:
         reconciliation — the PR's contract addition)."""
         try:
             sim = get_backend(name).make_simulator()
-        except PipelineConfigError:
-            pytest.skip(f"backend {name!r} unavailable in this environment")
+        except PipelineConfigError as error:
+            pytest.skip(f"backend {name!r} unavailable in this environment: {error}")
         fired = []
         first = sim.schedule(1.0, lambda: fired.append("first"))
         sim.schedule(2.0, lambda: fired.append("second"))

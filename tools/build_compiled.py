@@ -1,0 +1,53 @@
+"""Build the compiled replay kernel in place (``repro.sim._kernel``).
+
+Wraps ``python setup.py build_ext --inplace`` so a PYTHONPATH-based checkout
+(the development and CI layout) gets the extension next to its source under
+``src/repro/sim/``.  ``pip install -e .`` builds the same extension as part
+of the editable install; either route enables the ``"compiled"`` backend.
+
+Exits 0 when the kernel builds and imports, 1 when the build fails (e.g. no
+C compiler) — in which case the ``"compiled"`` backend simply stays
+unavailable and every other backend keeps working.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main() -> int:
+    result = subprocess.run(
+        [sys.executable, "setup.py", "build_ext", "--inplace"],
+        cwd=REPO_ROOT,
+    )
+    if result.returncode != 0:
+        print(
+            "build_compiled: build_ext failed; the 'compiled' backend will "
+            "decline (pure-python and vectorized backends are unaffected)",
+            file=sys.stderr,
+        )
+        return 1
+    probe = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.sim.compiled import kernel_build_info; "
+            "print('compiled kernel OK:', kernel_build_info())",
+        ],
+        cwd=REPO_ROOT,
+        env={
+            **os.environ,
+            "PYTHONPATH": os.path.join(REPO_ROOT, "src")
+            + os.pathsep
+            + os.environ.get("PYTHONPATH", ""),
+        },
+    )
+    return probe.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
