@@ -15,6 +15,7 @@ Subcommands:
       python -m repro list --workloads
       python -m repro list --slack-policies
       python -m repro list --backends
+      python -m repro list --faults
 
 * ``record`` — record one scenario's original schedule to a file (the file
   carries the topology spec, so it is self-contained)::
@@ -118,6 +119,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             workload=args.workload,
             slack_policy=args.slack_policy,
             backend=args.backend,
+            faults=args.fault,
+            fault_seed=args.fault_seed,
+            cell_timeout=args.cell_timeout,
+            max_retries=args.max_retries,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -138,12 +143,23 @@ def cmd_run(args: argparse.Namespace) -> int:
             "records_computed": summary.records_computed,
             "notes": summary.notes,
         }
+        payload["errors"] = [error.to_dict() for error in summary.errors]
         print(json.dumps(payload, indent=2, default=str))
     else:
         for result in summary.results.values():
             print(format_result(result))
             print()
         print(summary.format())
+    if summary.errors:
+        # The run itself completed (every surviving row was printed above);
+        # the nonzero exit is how scripts and CI notice the missing cells.
+        for error in summary.errors:
+            print(
+                f"error: cell {error.cell_id} failed after {error.attempts} "
+                f"attempt(s): {error.error_type}: {error.message}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -191,6 +207,24 @@ def _backend_entries() -> List[dict]:
     return describe_backends()
 
 
+def _fault_entries() -> List[dict]:
+    from repro.faults import FAULTS
+
+    entries = []
+    for definition in FAULTS:
+        entries.append(
+            {
+                "name": definition.name,
+                "faults": len(definition.faults),
+                "kinds": ", ".join(
+                    sorted({fault.kind for fault in definition.faults})
+                ) or "-",
+                "description": definition.description,
+            }
+        )
+    return entries
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     from repro.pipeline.experiment import default_registry
 
@@ -218,6 +252,25 @@ def cmd_list(args: argparse.Namespace) -> int:
             "\nselect with `--backend <name>` on run/replay/bench or "
             "$REPRO_BACKEND; unavailable backends decline and replays fall "
             "back to the reference engine (docs/backends.md)"
+        )
+        return 0
+
+    if args.faults:
+        entries = _fault_entries()
+        if args.json:
+            print(json.dumps(entries, indent=2))
+            return 0
+        name_width = max(len(e["name"]) for e in entries)
+        kinds_width = max(len(e["kinds"]) for e in entries)
+        print(f"{len(entries)} fault schedule(s) in the registry:")
+        for entry in entries:
+            print(
+                f"  {entry['name']:<{name_width}}  {entry['faults']} fault(s)  "
+                f"{entry['kinds']:<{kinds_width}}  {entry['description']}"
+            )
+        print(
+            "\nuse with `run faults --fault <name>` or `replay --fault <name>`; "
+            "faults hit the replay network only (docs/faults.md)"
         )
         return 0
 
@@ -376,6 +429,15 @@ def cmd_replay(args: argparse.Namespace) -> int:
         except ValueError as error:  # live-only policy
             print(f"error: {error}", file=sys.stderr)
             return 2
+    fault_plan = None
+    if args.fault is not None:
+        from repro.faults import FAULTS, FaultPlan
+
+        try:
+            fault_plan = FaultPlan(FAULTS.get(args.fault), seed=args.fault_seed)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
     try:
         schedule, meta = load_schedule(args.schedule)
     except (OSError, ValueError, gzip.BadGzipFile) as error:
@@ -399,6 +461,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
             threshold_packet_bytes=float(meta.get("mss", 1460)),
             initializer=initializer,
             backend=args.backend,
+            faults=fault_plan,
         )
     except PipelineConfigError as error:
         # e.g. --backend vectorized without numpy installed
@@ -409,7 +472,10 @@ def cmd_replay(args: argparse.Namespace) -> int:
         "original": meta.get("original"),
         "replay_mode": args.mode,
         "slack_policy": args.slack_policy,
+        "fault": args.fault,
+        "fault_seed": args.fault_seed,
         "packets": result.metrics.total_packets,
+        "delivered_fraction": result.metrics.delivered_fraction,
         "fraction_overdue": result.overdue_fraction,
         "fraction_overdue_beyond_T": result.overdue_beyond_threshold_fraction,
         "threshold": result.metrics.threshold,
@@ -419,6 +485,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
     else:
         print(
             f"replayed {row['packets']} packets of {row['scenario']} with {args.mode}: "
+            f"{row['delivered_fraction']:.4%} delivered, "
             f"{row['fraction_overdue']:.4%} overdue, "
             f"{row['fraction_overdue_beyond_T']:.4%} overdue by more than "
             f"T={row['threshold']:.3e}s"
@@ -551,6 +618,34 @@ def build_parser() -> argparse.ArgumentParser:
         "replay initializer, live experiments (figure2/figure3) its "
         "send-time policy",
     )
+    run_parser.add_argument(
+        "--fault",
+        default=None,
+        help="pin every fault-capable experiment onto a registry fault "
+        "schedule (see `list --faults`); faults hit the replay leg only",
+    )
+    run_parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the --fault schedule's randomness, independent of "
+        "every workload seed (default: 0)",
+    )
+    run_parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock budget in seconds; cells that outlive it "
+        "fail (and retry under --max-retries) instead of hanging the run",
+    )
+    run_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="extra rounds failed cells are retried with exponential "
+        "backoff; parallel rounds use a fresh worker pool, so crashed "
+        "workers are recovered (default: 0)",
+    )
     scale_group.add_argument(
         "--quick", action="store_true", help="shorthand for --scale quick"
     )
@@ -578,6 +673,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the simulation-backend registry (name, availability with "
         "reason, replay-support note, build metadata) instead of experiments",
     )
+    list_parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="list the fault-schedule registry (name, fault kinds) instead "
+        "of experiments",
+    )
     list_parser.add_argument("--json", action="store_true", help="emit JSON")
     list_parser.set_defaults(func=cmd_list)
 
@@ -598,13 +699,25 @@ def build_parser() -> argparse.ArgumentParser:
     replay_parser.add_argument(
         "--mode",
         default="lstf",
-        help="replay mode: lstf, lstf-preemptive, edf, priority, omniscient",
+        help="replay mode: lstf, lstf-preemptive, edf, priority, omniscient, fifo",
     )
     replay_parser.add_argument(
         "--slack-policy",
         default=None,
         help="stamp headers with a registry slack policy instead of the "
         "mode's recorded-schedule initializer (see `list --slack-policies`)",
+    )
+    replay_parser.add_argument(
+        "--fault",
+        default=None,
+        help="inject a registry fault schedule into the replay network "
+        "(see `list --faults`)",
+    )
+    replay_parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the --fault schedule's randomness (default: 0)",
     )
     _add_backend_argument(replay_parser)
     replay_parser.add_argument("--json", action="store_true", help="emit JSON")

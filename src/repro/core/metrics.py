@@ -40,6 +40,10 @@ class ReplayMetrics:
         deadline_met_replay: Deadline flows whose *last packet's replay*
             output time met the deadline (a flow with any packet missing
             from the replay counts as missed).
+        deadline_flows_delivered: Deadline flows with *no* packet missing
+            from the replay — the denominator that separates "missed because
+            late" from "missed because the network destroyed a packet" under
+            fault injection.
     """
 
     total_packets: int = 0
@@ -53,6 +57,7 @@ class ReplayMetrics:
     deadline_total: int = 0
     deadline_met_original: int = 0
     deadline_met_replay: int = 0
+    deadline_flows_delivered: int = 0
 
     @property
     def overdue_fraction(self) -> float:
@@ -81,6 +86,31 @@ class ReplayMetrics:
         if self.deadline_total == 0:
             return 0.0
         return self.deadline_met_replay / self.deadline_total
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Fraction of original packets that exited in the replay.
+
+        1.0 on a fault-free replay of a drop-free recording; under fault
+        injection this is the packet-level survival rate.  An empty
+        comparison counts as fully delivered.
+        """
+        if self.total_packets == 0:
+            return 1.0
+        return (self.total_packets - self.missing_packets) / self.total_packets
+
+    @property
+    def deadline_met_over_delivered_fraction(self) -> float:
+        """Deadline-met fraction among fully *delivered* deadline flows.
+
+        Conditions the replay deadline metric on survival: of the deadline
+        flows whose packets all made it through, how many were on time?
+        Separates scheduling quality from fault-induced loss (under faults,
+        :attr:`deadline_met_fraction_replay` conflates the two).
+        """
+        if self.deadline_flows_delivered == 0:
+            return 0.0
+        return self.deadline_met_replay / self.deadline_flows_delivered
 
     def summary(self) -> Dict[str, float]:
         """Headline numbers as a dictionary (used by the experiment tables)."""
@@ -156,8 +186,10 @@ def compare_schedules(
         metrics.deadline_total += 1
         if original_last <= deadline + tolerance:
             metrics.deadline_met_original += 1
-        if not missing and replay_last <= deadline + tolerance:
-            metrics.deadline_met_replay += 1
+        if not missing:
+            metrics.deadline_flows_delivered += 1
+            if replay_last <= deadline + tolerance:
+                metrics.deadline_met_replay += 1
 
     if metrics.total_packets:
         metrics.mean_lateness = lateness_total / metrics.total_packets

@@ -33,6 +33,7 @@ from repro.core.slack import (
 from repro.schedulers.base import Scheduler
 from repro.schedulers.edf import EdfScheduler
 from repro.schedulers.factory import alternating_factory, uniform_factory
+from repro.schedulers.fifo import FifoScheduler
 from repro.schedulers.lstf import LstfScheduler, PreemptiveLstfScheduler
 from repro.schedulers.omniscient import OmniscientReplayScheduler
 from repro.schedulers.priority import StaticPriorityScheduler
@@ -55,6 +56,9 @@ REPLAY_MODES: Dict[str, tuple] = {
     "edf": (EdfScheduler, BlackBoxSlackInitializer),
     "priority": (StaticPriorityScheduler, OutputTimePriorityInitializer),
     "omniscient": (OmniscientReplayScheduler, OmniscientInitializer),
+    # FIFO replay: the slack-oblivious baseline the faults experiments
+    # degrade against (headers still carry black-box slack; FIFO ignores it).
+    "fifo": (FifoScheduler, BlackBoxSlackInitializer),
 }
 
 
@@ -220,6 +224,7 @@ class PythonBackend(SimBackend):
         default_buffer_bytes: Optional[float] = None,
         max_events: Optional[int] = None,
         initializer: Optional[ReplayInitializer] = None,
+        faults=None,
     ) -> Schedule:
         sim = Simulator()
         tracer = Tracer()
@@ -233,8 +238,15 @@ class PythonBackend(SimBackend):
             initializer = replay_initializer(mode)
         injector = ReplayInjector(sim, network, schedule, initializer)
         injector.install()
-        # No feedback loops and no drops: the event queue drains once every
-        # injected packet has exited, so run to completion.
+        if faults is not None and not faults.is_empty():
+            # The fault horizon is the span traffic actually enters over:
+            # the last recorded ingress time (records are ingress-sorted).
+            records = schedule.records()
+            horizon = records[-1].ingress_time if records else 0.0
+            network.install_faults(faults, horizon=horizon if horizon > 0.0 else 1.0)
+        # Without faults there are no feedback loops and no drops, and with
+        # them destroyed packets simply never reach their sink: either way
+        # the event queue drains once every surviving packet has exited.
         sim.run(until=None, max_events=max_events)
         return Schedule.from_packets(tracer.delivered_data_packets(), use_replay_ids=True)
 
@@ -250,6 +262,7 @@ def replay_schedule(
     max_events: Optional[int] = None,
     initializer: Optional[ReplayInitializer] = None,
     backend: Union[str, SimBackend, None] = None,
+    faults=None,
 ) -> Schedule:
     """Replay a recorded schedule on a fresh instance of ``topology``.
 
@@ -271,6 +284,10 @@ def replay_schedule(
             (environment default, normally ``"python"``).  A backend that
             does not support this exact configuration falls back to the
             reference python backend; results are bit-identical either way.
+        faults: Optional :class:`repro.faults.FaultPlan` installed on the
+            replay network (``None`` or an empty plan replays fault-free).
+            Accelerated backends decline fault-bearing replays, so these
+            silently fall back to the reference engine.
     """
     engine = resolve_backend(backend)
     if not engine.supports_replay(
@@ -278,6 +295,7 @@ def replay_schedule(
         default_buffer_bytes=default_buffer_bytes,
         initializer=initializer,
         topology=topology,
+        faults=faults,
     ):
         engine = resolve_backend("python")
     return engine.replay(
@@ -287,6 +305,7 @@ def replay_schedule(
         default_buffer_bytes=default_buffer_bytes,
         max_events=max_events,
         initializer=initializer,
+        faults=faults,
     )
 
 
@@ -299,6 +318,7 @@ def evaluate_replay(
     default_buffer_bytes: Optional[float] = None,
     initializer: Optional[ReplayInitializer] = None,
     backend: Union[str, SimBackend, None] = None,
+    faults=None,
 ) -> ReplayResult:
     """Replay ``original`` with ``mode`` and compute the Table-1 metrics.
 
@@ -314,6 +334,9 @@ def evaluate_replay(
         initializer: Header initializer overriding the mode's default (see
             :func:`replay_schedule`); used by slack-policy replays.
         backend: Engine selector forwarded to :func:`replay_schedule`.
+        faults: Optional fault plan forwarded to :func:`replay_schedule`;
+            destroyed packets surface as ``missing`` in the metrics (see
+            :attr:`~repro.core.metrics.ReplayMetrics.delivered_fraction`).
     """
     replayed = replay_schedule(
         topology,
@@ -322,6 +345,7 @@ def evaluate_replay(
         default_buffer_bytes=default_buffer_bytes,
         initializer=initializer,
         backend=backend,
+        faults=faults,
     )
     if threshold is None:
         threshold = topology.bottleneck_transmission_time(threshold_packet_bytes)
@@ -362,6 +386,7 @@ def record_schedule(
     default_buffer_bytes: Optional[float] = None,
     max_events: Optional[int] = None,
     slack_policy=None,
+    faults=None,
 ) -> Schedule:
     """Run the workload under the original schedulers and record the schedule.
 
@@ -376,6 +401,11 @@ def record_schedule(
             emit it (the live application mode of
             :mod:`repro.core.slack_policy`).  ``None`` records exactly as
             before.
+        faults: Optional :class:`repro.faults.FaultPlan` installed while
+            recording, with the workload duration as the fault horizon.
+            The pipeline records fault-free and injects faults at replay
+            time only; this parameter exists for direct API use (e.g.
+            recording what FIFO itself does under loss).
     """
     from repro.sim.simulation import Simulation
 
@@ -386,6 +416,8 @@ def record_schedule(
         slack_policy=slack_policy,
         seed=seed,
     )
+    if faults is not None and not faults.is_empty():
+        simulation.network.install_faults(faults, horizon=float(workload.duration))
     simulation.add_poisson_traffic(
         workload, sources=sources, destinations=destinations, stop_time=workload.duration
     )

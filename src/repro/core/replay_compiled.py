@@ -63,6 +63,7 @@ class CompiledBackend(VectorizedBackend):
         default_buffer_bytes: Optional[float] = None,
         initializer: Optional[ReplayInitializer] = None,
         topology: Optional[Topology] = None,
+        faults=None,
     ) -> bool:
         """The vectorized fast path, gated additionally on the built kernel."""
         return kernel_available() and super().supports_replay(
@@ -70,6 +71,7 @@ class CompiledBackend(VectorizedBackend):
             default_buffer_bytes=default_buffer_bytes,
             initializer=initializer,
             topology=topology,
+            faults=faults,
         )
 
     def build_info(self) -> Optional[dict]:

@@ -231,17 +231,20 @@ class VectorizedBackend(SimBackend):
         default_buffer_bytes: Optional[float] = None,
         initializer: Optional[ReplayInitializer] = None,
         topology: Optional[Topology] = None,
+        faults=None,
     ) -> bool:
-        """The fast path: infinite buffers and a non-preemptive key-mode.
+        """The fast path: infinite buffers, a non-preemptive key-mode, no faults.
 
         A topology with finite per-link buffers also declines: the flat
         loop never drops packets, so finite-buffer replays belong to the
-        reference backend.
+        reference backend.  Fault-bearing replays (a non-empty fault plan)
+        decline for the same reason — the flat loop has no drop path.
         """
         return (
             _np is not None
             and mode in self.SUPPORTED_MODES
             and default_buffer_bytes is None
+            and (faults is None or faults.is_empty())
             and (
                 topology is None
                 or all(spec.buffer_bytes is None for spec in topology.links)
@@ -256,16 +259,18 @@ class VectorizedBackend(SimBackend):
         default_buffer_bytes: Optional[float] = None,
         max_events: Optional[int] = None,
         initializer: Optional[ReplayInitializer] = None,
+        faults=None,
     ) -> Schedule:
         self.check_available()
         if not self.supports_replay(
-            mode, default_buffer_bytes=default_buffer_bytes, topology=topology
+            mode, default_buffer_bytes=default_buffer_bytes, topology=topology, faults=faults
         ):
             raise _config_error(
                 f"vectorized backend does not support mode={mode!r} with "
-                f"default_buffer_bytes={default_buffer_bytes!r} on topology "
-                f"{topology.name!r}; use the python backend (replay_schedule "
-                "falls back automatically)"
+                f"default_buffer_bytes={default_buffer_bytes!r}, "
+                f"faults={'set' if faults is not None and not faults.is_empty() else None!r} "
+                f"on topology {topology.name!r}; use the python backend "
+                "(replay_schedule falls back automatically)"
             )
         if initializer is None:
             initializer = replay_initializer(mode)

@@ -12,6 +12,7 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.adversarial import adversarial_scenarios, run_adversarial
 from repro.experiments.config import ExperimentResult, ExperimentScale
+from repro.experiments.faults import fault_scenarios, run_faults
 from repro.experiments.figure1 import queueing_delay_ratio_cdf, run_figure1
 from repro.experiments.figure2 import run_fct_scenario, run_figure2
 from repro.experiments.figure3 import run_delay_scenario, run_figure3
@@ -62,6 +63,8 @@ __all__ = [
     "adversarial_scenarios",
     "run_heuristics",
     "heuristics_scenarios",
+    "run_faults",
+    "fault_scenarios",
     "EXPERIMENTS",
     "run_all",
     "run_all_summary",

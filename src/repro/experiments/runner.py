@@ -19,6 +19,7 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.adversarial import run_adversarial
 from repro.experiments.config import ExperimentResult, ExperimentScale
+from repro.experiments.faults import run_faults
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
@@ -44,6 +45,7 @@ EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentScale]], ExperimentResult]] 
     "ablation-omniscient": run_omniscient_ablation,
     "adversarial": run_adversarial,
     "heuristics": run_heuristics,
+    "faults": run_faults,
 }
 
 

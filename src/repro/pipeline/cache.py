@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from collections import OrderedDict
 from pathlib import Path
@@ -31,6 +32,8 @@ from typing import Callable, Dict, Optional, Tuple, Union
 from repro.core.schedule import Schedule, load_schedule, save_schedule
 from repro.topology.base import Topology
 from repro.traffic.workload import WorkloadSpec
+
+logger = logging.getLogger(__name__)
 
 
 def distribution_fingerprint(distribution) -> dict:
@@ -75,6 +78,7 @@ def schedule_cache_key(
     seed: int,
     slack_policy=None,
     slack_mode: str = "replay",
+    faults=None,
 ) -> str:
     """Content hash of (topology, original scheduler, workload, seed[, policy]).
 
@@ -98,6 +102,15 @@ def schedule_cache_key(
       recording*, so the recorded schedule genuinely depends on it; the
       fingerprint gains a ``"mode": "live"`` marker so a live cell can never
       collide with a replay-policy cell of the same kind and parameters.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`, or ``None``) follows the
+    replay-mode slack-policy precedent: the pipeline records fault-free and
+    injects faults at replay time only, so the recorded artifact does not
+    depend on the plan — but the key identifies the cell's full provenance,
+    so a non-empty plan's fingerprint (fault list + fault seed) is hashed
+    in.  ``None`` and an *empty* plan contribute nothing, which keeps every
+    fault-free key bit-identical to the keys recorded before the fault layer
+    existed (pinned by the golden-key regression test).
     """
     payload = {
         "topology": topology.to_dict(),
@@ -110,6 +123,10 @@ def schedule_cache_key(
         if slack_mode == "live":
             fingerprint["mode"] = "live"
         payload["slack_policy"] = fingerprint
+    if faults is not None:
+        fault_fingerprint = faults.fingerprint()
+        if fault_fingerprint is not None:
+            payload["faults"] = fault_fingerprint
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
@@ -142,6 +159,7 @@ class ScheduleCache:
         self._memory: "OrderedDict[str, Schedule]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.corrupt_entries = 0
 
     def _remember(self, key: str, schedule: Schedule) -> None:
         self._memory[key] = schedule
@@ -180,8 +198,14 @@ class ScheduleCache:
         recorder: Callable[[], Schedule],
         slack_policy=None,
         slack_mode: str = "replay",
+        faults=None,
     ) -> Tuple[Schedule, str]:
         """Fetch the schedule for this cell, recording it on first use.
+
+        A corrupt on-disk entry (truncated gzip, undecodable JSON, a packet
+        count that does not match its header) never aborts the run: the file
+        is quarantined as ``<key>.jsonl.gz.corrupt``, a warning is logged,
+        and the entry is re-recorded as if it had never existed.
 
         Args:
             topology: Topology spec (part of the key and stored as metadata).
@@ -195,12 +219,15 @@ class ScheduleCache:
             slack_mode: How the policy applies — ``"replay"`` (stamp replayed
                 packets) or ``"live"`` (the policy shaped the recording
                 itself; keyed separately).
+            faults: The cell's :class:`repro.faults.FaultPlan`, if any;
+                hashed into the key when non-empty (see
+                :func:`schedule_cache_key`).
 
         Returns:
             ``(schedule, key)``.
         """
         key = schedule_cache_key(
-            topology, original, workload, seed, slack_policy, slack_mode
+            topology, original, workload, seed, slack_policy, slack_mode, faults
         )
         schedule = self._memory.get(key)
         if schedule is not None:
@@ -209,10 +236,14 @@ class ScheduleCache:
             return schedule, key
         path = self.path_for(key)
         if path is not None and path.exists():
-            schedule, _ = load_schedule(path)
-            self._remember(key, schedule)
-            self.hits += 1
-            return schedule, key
+            try:
+                schedule, _ = load_schedule(path)
+            except (OSError, EOFError, ValueError, KeyError) as error:
+                self._quarantine(path, error)
+            else:
+                self._remember(key, schedule)
+                self.hits += 1
+                return schedule, key
         schedule = recorder()
         self.misses += 1
         self._remember(key, schedule)
@@ -228,15 +259,42 @@ class ScheduleCache:
                 meta["slack_policy"] = slack_policy.to_dict()
                 if slack_mode != "replay":
                     meta["slack_mode"] = slack_mode
+            if faults is not None and faults.fingerprint() is not None:
+                meta["faults"] = faults.to_dict()
             save_schedule(path, schedule, meta=meta)
         return schedule, key
+
+    def _quarantine(self, path: Path, error: Exception) -> None:
+        """Move an unreadable cache entry aside so the run can re-record.
+
+        The quarantined copy keeps the original bytes (``*.corrupt`` suffix)
+        for post-mortem inspection; a racing worker may have quarantined the
+        same entry first, so a missing source file is tolerated.
+        """
+        self.corrupt_entries += 1
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:  # pragma: no cover - lost the quarantine race
+            quarantined = None
+        logger.warning(
+            "corrupt schedule cache entry %s (%s: %s); %s; re-recording",
+            path,
+            type(error).__name__,
+            error,
+            f"quarantined to {quarantined}" if quarantined is not None else "already quarantined",
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters (misses == original schedules recorded)."""
-        return {"hits": self.hits, "misses": self.misses}
+        """Hit/miss/corruption counters (misses == original schedules recorded)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt_entries": self.corrupt_entries,
+        }
 
     def disk_entries(self) -> int:
         """Number of schedule files currently in the on-disk layer."""

@@ -103,10 +103,20 @@ class ExperimentDef(ABC):
     #: .override_slack_policy`); the runner notes unsupported experiments
     #: instead of silently ignoring the override.
     supports_slack_policy: bool = False
+    #: Whether this experiment honors the ``faults`` attribute (set by
+    #: :meth:`with_faults` / the ``--fault`` CLI override).  Definitions
+    #: that opt in must apply ``self.faults`` when expanding scenarios
+    #: (:func:`~repro.pipeline.scenario.override_faults`); the runner notes
+    #: unsupported experiments instead of silently ignoring the override.
+    supports_faults: bool = False
     #: Registry workload overriding every scenario (``None`` = keep as-is).
     workload: Optional[str] = None
     #: Registry slack policy overriding every scenario (``None`` = keep as-is).
     slack_policy: Optional[str] = None
+    #: Registry fault schedule overriding every scenario (``None`` = keep as-is).
+    faults: Optional[str] = None
+    #: Fault seed accompanying the ``faults`` override.
+    fault_seed: int = 0
     #: Seed replicates per scenario.
     replicates: int = 1
 
@@ -132,6 +142,15 @@ class ExperimentDef(ABC):
 
         clone = copy.copy(self)
         clone.replicates = replicates
+        return clone
+
+    def with_faults(self, faults: str, fault_seed: int = 0) -> "ExperimentDef":
+        """A copy of this definition pinned to one registry fault schedule."""
+        import copy
+
+        clone = copy.copy(self)
+        clone.faults = faults
+        clone.fault_seed = fault_seed
         return clone
 
     # ------------------------------------------------------------------ #
@@ -236,8 +255,9 @@ def scenario_cache_key(scenario: Scenario) -> str:
     recording work — deduplicating cells that share one original schedule —
     before fanning anything out to workers.  Scenarios pinned to a slack
     policy hash the policy's serialized form (plus a live-mode marker when
-    the policy shaped the recording) into their key; policy-less scenarios
-    hash exactly what they always did.
+    the policy shaped the recording) into their key; scenarios pinned to a
+    non-empty fault schedule hash the fault plan's fingerprint; plain
+    scenarios hash exactly what they always did.
     """
     return schedule_cache_key(
         scenario.build_topology(),
@@ -246,6 +266,7 @@ def scenario_cache_key(scenario: Scenario) -> str:
         scenario.seed,
         slack_policy=scenario.slack_policy_def(),
         slack_mode=scenario.slack_mode,
+        faults=scenario.fault_plan(),
     )
 
 
@@ -306,6 +327,13 @@ def replay_scenario(
     (``REPRO_BACKEND`` or ``"python"``).  Backends are bit-identical by
     contract, so the choice never changes a row — only how fast it is
     produced — which is why it stays out of every cache key.
+
+    A scenario pinned to a fault schedule (``scenario.faults``) injects the
+    plan into the *replay* network only — the recording stays fault-free, so
+    the question each fault row answers is "how does the candidate UPS cope
+    when the network misbehaves under it?".  Accelerated backends decline
+    fault-bearing replays via ``supports_replay`` and the replay silently
+    runs on the reference engine.
     """
     cache = cache if cache is not None else ScheduleCache()
     topology = scenario.build_topology()
@@ -323,6 +351,7 @@ def replay_scenario(
                 f"{', '.join(POLICY_COMPATIBLE_MODES)}"
             )
         initializer = policy.build_initializer()
+    fault_plan = scenario.fault_plan()
     schedule, _ = cache.get_or_record(
         topology=topology,
         original=scenario.original,
@@ -331,6 +360,7 @@ def replay_scenario(
         recorder=lambda: record_scenario_schedule(scenario, topology, workload),
         slack_policy=policy,
         slack_mode=scenario.slack_mode,
+        faults=fault_plan,
     )
     return evaluate_replay(
         topology,
@@ -339,6 +369,7 @@ def replay_scenario(
         threshold_packet_bytes=float(workload.mss),
         initializer=initializer,
         backend=backend if backend is not None else scenario.backend,
+        faults=fault_plan,
     )
 
 

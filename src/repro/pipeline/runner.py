@@ -24,17 +24,26 @@ workload, seed) key is now recorded exactly once per run.
 Workers share the on-disk :class:`ScheduleCache` layer; within a process
 each worker also keeps the in-memory layer, so a warm cache run records
 nothing at all (``RunSummary.records_computed == 0``).
+
+The runner is also hardened against *real* failure: cells run under an
+optional per-cell timeout, a cell that raises (or whose worker dies — a
+crashed process breaks the whole ``ProcessPoolExecutor``) is retried across
+``max_retries`` fresh pools with exponential backoff, and whatever still
+fails after the last round is reported as a structured :class:`CellError`
+on the summary instead of aborting the run and losing every completed row.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import time
+import traceback as traceback_module
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.pipeline.cache import ScheduleCache
 from repro.pipeline.experiment import (
@@ -53,6 +62,84 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiments -> pipel
     from repro.experiments.config import ExperimentResult, ExperimentScale
 
 
+class CellTimeoutError(RuntimeError):
+    """A cell exceeded the run's per-cell time budget (``--cell-timeout``)."""
+
+
+@dataclass
+class CellError:
+    """One cell that failed every attempt, as a structured error row.
+
+    Serialized into the ``--json`` payload's ``"errors"`` list, so a
+    partially failed campaign still reports exactly which cells died, why,
+    and after how many attempts — next to every row that did complete.
+    """
+
+    cell_id: str
+    experiment: str
+    label: str
+    mode: str
+    seed: int
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    phase: str = "run"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form for the CLI payload."""
+        return asdict(self)
+
+
+@dataclass
+class _CellFailure:
+    """A worker-side exception, captured in picklable form.
+
+    Workers return this instead of raising: an exception propagating out of
+    a pool task used to abort the entire run and lose every completed row.
+    """
+
+    error_type: str
+    message: str
+    traceback: str
+
+    @classmethod
+    def capture(cls, error: BaseException) -> "_CellFailure":
+        return cls(
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback="".join(
+                traceback_module.format_exception(type(error), error, error.__traceback__)
+            ),
+        )
+
+
+@contextmanager
+def _cell_deadline(seconds: Optional[float]):
+    """Raise :class:`CellTimeoutError` if the body outlives ``seconds``.
+
+    Implemented with ``SIGALRM``/``setitimer``, so it interrupts a
+    simulation stuck inside pure-Python event loops.  A no-op when
+    ``seconds`` is ``None`` or the platform has no ``SIGALRM`` (Windows);
+    both the serial runner and pool workers execute cells on their process'
+    main thread, which is what signal delivery requires.
+    """
+    if seconds is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        raise CellTimeoutError(f"cell exceeded the per-cell timeout of {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 @dataclass
 class RunSummary:
     """Everything a pipeline run produced, plus how it ran.
@@ -67,6 +154,9 @@ class RunSummary:
         cache_misses: Original schedules that had to be recorded.
         notes: Caveats about how the run was interpreted (e.g. experiments
             that could not honor a ``replicates`` request).
+        errors: Cells that failed every retry round, as structured
+            :class:`CellError` rows (the run still completes; the CLI exits
+            nonzero when this list is non-empty).
     """
 
     results: Dict[str, "ExperimentResult"] = field(default_factory=dict)
@@ -76,6 +166,7 @@ class RunSummary:
     cache_hits: int = 0
     cache_misses: int = 0
     notes: List[str] = field(default_factory=list)
+    errors: List[CellError] = field(default_factory=list)
 
     @property
     def records_computed(self) -> int:
@@ -85,6 +176,7 @@ class RunSummary:
     def format(self) -> str:
         """One-paragraph human-readable run summary."""
         total = self.cache_hits + self.cache_misses
+        completed = self.cells - len(self.errors)
         lines = [
             f"pipeline: {len(self.results)} experiment(s), {self.cells} cell(s), "
             f"{self.workers} worker(s), {self.wall_time:.2f}s wall-clock",
@@ -92,6 +184,16 @@ class RunSummary:
             f"{self.records_computed} schedule(s) recorded"
             + (" (warm cache: nothing re-recorded)" if total and not self.cache_misses else ""),
         ]
+        if self.errors:
+            lines.append(
+                f"FAILED: {len(self.errors)}/{self.cells} cell(s) "
+                f"({completed} completed); failed cells:"
+            )
+            lines.extend(
+                f"  {error.cell_id}: {error.error_type}: {error.message} "
+                f"(after {error.attempts} attempt(s))"
+                for error in self.errors
+            )
         lines.extend(f"note: {note}" for note in self.notes)
         return "\n".join(lines)
 
@@ -119,11 +221,17 @@ def _execute_cell(
 # Worker-side state (one schedule cache per pool process)
 # ---------------------------------------------------------------------- #
 _WORKER_CACHE: Optional[ScheduleCache] = None
+_WORKER_TIMEOUT: Optional[float] = None
 
 
-def _worker_init(cache_dir: Optional[str], backend: Optional[str] = None) -> None:
-    global _WORKER_CACHE
+def _worker_init(
+    cache_dir: Optional[str],
+    backend: Optional[str] = None,
+    cell_timeout: Optional[float] = None,
+) -> None:
+    global _WORKER_CACHE, _WORKER_TIMEOUT
     _WORKER_CACHE = ScheduleCache(cache_dir)
+    _WORKER_TIMEOUT = cell_timeout
     if backend is not None:
         # Workers resolve the run's engine through the same process-default
         # channel as everything else (see resolve_backend); an explicit
@@ -136,46 +244,59 @@ def _worker_init(cache_dir: Optional[str], backend: Optional[str] = None) -> Non
 
 def _worker_run(
     payload: Tuple[int, ExperimentDef, Cell, "ExperimentScale"]
-) -> Tuple[int, CellResult]:
+) -> Tuple[int, Union[CellResult, _CellFailure]]:
     # The definition itself ships in the payload (definitions are plain
     # picklable objects), so workers honor whatever registry — global or
     # caller-supplied — the driver resolved names against, on fork and
-    # spawn platforms alike.
+    # spawn platforms alike.  Exceptions (including the per-cell timeout)
+    # come back as picklable _CellFailure values, never as raises: a raise
+    # would poison the pool future and take every other cell down with it.
     index, definition, cell, scale = payload
     assert _WORKER_CACHE is not None
-    return index, _execute_cell(definition, cell, scale, _WORKER_CACHE)
+    try:
+        with _cell_deadline(_WORKER_TIMEOUT):
+            return index, _execute_cell(definition, cell, scale, _WORKER_CACHE)
+    except Exception as error:
+        return index, _CellFailure.capture(error)
 
 
-def _worker_record(payload: Tuple[str, Scenario]) -> int:
+def _worker_record(payload: Tuple[str, Scenario]) -> Tuple[str, Union[int, _CellFailure]]:
     """Phase-1 task: record one deduplicated scenario schedule into the cache.
 
-    Returns the number of schedules actually recorded (0 when another run
-    populated the entry between planning and execution).
+    Returns ``(key, misses)`` — the number of schedules actually recorded
+    (0 when another run populated the entry between planning and execution)
+    — or ``(key, _CellFailure)`` when the recording raised or timed out.
     """
     from repro.sim.flow import reset_flow_ids
     from repro.sim.packet import reset_packet_ids
 
-    _, scenario = payload
+    key, scenario = payload
     assert _WORKER_CACHE is not None
     reset_packet_ids()
     reset_flow_ids()
     misses_before = _WORKER_CACHE.misses
-    topology = scenario.build_topology()
-    workload = scenario.workload()
-    # The slack policy (and its application mode) must flow into the key
-    # here exactly as it does in scenario_cache_key/replay_scenario, or
-    # phase-1 recordings would land under a different entry than the
-    # phase-2 replays look up.
-    _WORKER_CACHE.get_or_record(
-        topology=topology,
-        original=scenario.original,
-        workload=workload,
-        seed=scenario.seed,
-        recorder=lambda: record_scenario_schedule(scenario, topology, workload),
-        slack_policy=scenario.slack_policy_def(),
-        slack_mode=scenario.slack_mode,
-    )
-    return _WORKER_CACHE.misses - misses_before
+    try:
+        with _cell_deadline(_WORKER_TIMEOUT):
+            topology = scenario.build_topology()
+            workload = scenario.workload()
+            # The slack policy (and its application mode) and the fault plan
+            # must flow into the key here exactly as they do in
+            # scenario_cache_key/replay_scenario, or phase-1 recordings
+            # would land under a different entry than the phase-2 replays
+            # look up.
+            _WORKER_CACHE.get_or_record(
+                topology=topology,
+                original=scenario.original,
+                workload=workload,
+                seed=scenario.seed,
+                recorder=lambda: record_scenario_schedule(scenario, topology, workload),
+                slack_policy=scenario.slack_policy_def(),
+                slack_mode=scenario.slack_mode,
+                faults=scenario.fault_plan(),
+            )
+    except Exception as error:
+        return key, _CellFailure.capture(error)
+    return key, _WORKER_CACHE.misses - misses_before
 
 
 def _plan_records(
@@ -258,6 +379,30 @@ def run_experiment(
     return definition.assemble(scale, results)
 
 
+def _cell_error(
+    cell: Cell, failure: Optional[_CellFailure], attempts: int, phase: str = "run"
+) -> CellError:
+    """Build the structured error row for a cell that failed every attempt."""
+    if failure is None:  # pragma: no cover - defensive (no captured failure)
+        failure = _CellFailure(
+            error_type="UnknownWorkerFailure",
+            message="worker finished without reporting a result",
+            traceback="",
+        )
+    return CellError(
+        cell_id=cell.cell_id,
+        experiment=cell.experiment,
+        label=cell.label,
+        mode=cell.mode,
+        seed=cell.seed,
+        error_type=failure.error_type,
+        message=failure.message,
+        traceback=failure.traceback,
+        attempts=attempts,
+        phase=phase,
+    )
+
+
 def run_pipeline(
     names: Optional[Sequence[str]] = None,
     scale: Optional[ExperimentScale] = None,
@@ -268,6 +413,11 @@ def run_pipeline(
     workload: Optional[str] = None,
     slack_policy: Optional[str] = None,
     backend: Optional[str] = None,
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
+    cell_timeout: Optional[float] = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.5,
 ) -> RunSummary:
     """Run experiments, optionally fanning their cells across processes.
 
@@ -294,10 +444,26 @@ def run_pipeline(
             ... --backend <name>``).  Validated before anything runs;
             backends are bit-identical by contract, so rows and cache
             entries do not depend on this choice.
+        faults: Fault-schedule registry name (see :data:`repro.faults.FAULTS`)
+            overriding every scenario's fault plan, for experiments that
+            support it (``python -m repro run ... --fault <name>``).
+        fault_seed: Seed accompanying the ``faults`` override (independent
+            of every workload seed).
+        cell_timeout: Per-cell wall-clock budget in seconds; a cell that
+            outlives it fails with :class:`CellTimeoutError` (and is retried
+            like any other failure).  ``None`` = no timeout.
+        max_retries: How many extra rounds failed cells are retried.  In
+            parallel runs each retry round gets a *fresh* worker pool, so a
+            crashed worker (which breaks the whole ``ProcessPoolExecutor``)
+            is recovered from, not just in-cell exceptions.
+        retry_backoff: Base of the exponential backoff between retry rounds
+            (round *n* sleeps ``retry_backoff * 2**(n-1)`` seconds).
 
     Returns:
         A :class:`RunSummary` with per-experiment results merged in cell
-        order — identical rows regardless of ``workers``.
+        order — identical rows regardless of ``workers``.  Cells that failed
+        every attempt are reported in ``summary.errors`` (their rows are
+        simply absent); the run itself never aborts on a cell failure.
     """
     from repro.experiments.config import ExperimentScale
 
@@ -311,6 +477,7 @@ def run_pipeline(
     unreplicated: List[str] = []
     unworkloaded: List[str] = []
     unpolicied: List[str] = []
+    unfaulted: List[str] = []
     for name in selected:
         definition = registry.get(name)
         if workload is not None:
@@ -323,6 +490,11 @@ def run_pipeline(
                 definition = definition.with_slack_policy(slack_policy)
             else:
                 unpolicied.append(name)
+        if faults is not None:
+            if definition.supports_faults:
+                definition = definition.with_faults(faults, fault_seed)
+            else:
+                unfaulted.append(name)
         if replicates > 1:
             if definition.supports_replicates:
                 definition = definition.with_replicates(replicates)
@@ -344,6 +516,11 @@ def run_pipeline(
             f"slack_policy={slack_policy!r} not supported by: {', '.join(unpolicied)} "
             "(those experiments kept their default replay initialization)"
         )
+    if unfaulted:
+        notes.append(
+            f"faults={faults!r} not supported by: {', '.join(unfaulted)} "
+            "(those experiments replayed fault-free)"
+        )
 
     tasks: List[Tuple[ExperimentDef, Cell]] = []
     spans: List[Tuple[str, int, int]] = []  # (name, first task index, count)
@@ -353,37 +530,44 @@ def run_pipeline(
         tasks.extend((definition, cell) for cell in cells)
 
     cell_results: List[Optional[CellResult]] = [None] * len(tasks)
+    errors: List[CellError] = []
     with _backend_scope(backend):
         if workers <= 1 or len(tasks) <= 1:
             workers = 1
             cache = ScheduleCache(cache_dir)
             for index, (definition, cell) in enumerate(tasks):
-                cell_results[index] = _execute_cell(definition, cell, scale, cache)
+                failure: Optional[_CellFailure] = None
+                attempts = 0
+                for attempt in range(max_retries + 1):
+                    if attempt:
+                        time.sleep(retry_backoff * 2 ** (attempt - 1))
+                    attempts += 1
+                    try:
+                        with _cell_deadline(cell_timeout):
+                            cell_results[index] = _execute_cell(
+                                definition, cell, scale, cache
+                            )
+                    except Exception as error:
+                        failure = _CellFailure.capture(error)
+                    else:
+                        break
+                else:
+                    errors.append(_cell_error(cell, failure, attempts))
             cache_hits, cache_misses = cache.hits, cache.misses
         else:
-            # Phase 1 (record): with a shared on-disk cache, record each
-            # missing unique schedule exactly once before any replay cell
-            # runs.  Without a disk layer workers cannot share recordings, so
-            # phase 1 is skipped and each worker records what it needs (the
-            # pre-two-phase behavior).
-            plans: List[Tuple[str, Scenario]] = []
-            if cache_dir is not None:
-                plans = _plan_records(tasks, ScheduleCache(cache_dir))
-            payloads = [
-                (index, definition, cell, scale)
-                for index, (definition, cell) in enumerate(tasks)
-            ]
-            records_computed = 0
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_worker_init,
-                initargs=(cache_dir, backend),
-            ) as pool:
-                if plans:
-                    records_computed = sum(pool.map(_worker_record, plans))
-                # Phase 2 (replay): every cell runs against the warm cache.
-                for index, result in pool.map(_worker_run, payloads):
-                    cell_results[index] = result
+            records_computed, parallel_errors = _run_parallel(
+                tasks,
+                scale,
+                workers=workers,
+                cache_dir=cache_dir,
+                backend=backend,
+                cell_timeout=cell_timeout,
+                max_retries=max_retries,
+                retry_backoff=retry_backoff,
+                cell_results=cell_results,
+                notes=notes,
+            )
+            errors.extend(parallel_errors)
             cache_hits = sum(r.cache_hits for r in cell_results if r is not None)
             cache_misses = records_computed + sum(
                 r.cache_misses for r in cell_results if r is not None
@@ -405,7 +589,116 @@ def run_pipeline(
         cache_hits=cache_hits,
         cache_misses=cache_misses,
         notes=notes,
+        errors=errors,
     )
+
+
+def _run_parallel(
+    tasks: Sequence[Tuple[ExperimentDef, Cell]],
+    scale: "ExperimentScale",
+    workers: int,
+    cache_dir: Optional[str],
+    backend: Optional[str],
+    cell_timeout: Optional[float],
+    max_retries: int,
+    retry_backoff: float,
+    cell_results: List[Optional[CellResult]],
+    notes: List[str],
+) -> Tuple[int, List[CellError]]:
+    """Fan cells out across pool workers, with crash recovery and retries.
+
+    Runs up to ``max_retries + 1`` rounds.  Each round gets a **fresh**
+    ``ProcessPoolExecutor``: a worker that dies (OOM-killed, SIGKILL,
+    segfault) breaks the entire pool — every outstanding future fails with
+    ``BrokenProcessPool`` — so per-round pools are what turns "one crashed
+    worker aborts the campaign" into "the surviving work retries".  Within a
+    round, phase 1 records missing unique schedules and phase 2 replays
+    cells, exactly as before; items that failed stay pending for the next
+    round, items that succeeded never re-run.
+
+    Fills ``cell_results`` in place; returns ``(records_computed, errors)``.
+    """
+    # Phase 1 (record): with a shared on-disk cache, record each missing
+    # unique schedule exactly once before any replay cell runs.  Without a
+    # disk layer workers cannot share recordings, so phase 1 is skipped and
+    # each worker records what it needs (the pre-two-phase behavior).
+    pending_records: "OrderedDict[str, Scenario]" = OrderedDict()
+    if cache_dir is not None:
+        pending_records = OrderedDict(_plan_records(tasks, ScheduleCache(cache_dir)))
+    pending_cells: "OrderedDict[int, Tuple[ExperimentDef, Cell]]" = OrderedDict(
+        (index, task) for index, task in enumerate(tasks)
+    )
+    record_attempts: Dict[str, int] = {}
+    cell_attempts: Dict[int, int] = {}
+    cell_failures: Dict[int, _CellFailure] = {}
+    records_computed = 0
+
+    for round_index in range(max_retries + 1):
+        if not pending_records and not pending_cells:
+            break
+        if round_index:
+            time.sleep(retry_backoff * 2 ** (round_index - 1))
+        pool_broken = False
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(cache_dir, backend, cell_timeout),
+        ) as pool:
+            if pending_records:
+                record_futures = {
+                    pool.submit(_worker_record, (key, scenario)): key
+                    for key, scenario in pending_records.items()
+                }
+                for future in as_completed(record_futures):
+                    key = record_futures[future]
+                    record_attempts[key] = record_attempts.get(key, 0) + 1
+                    try:
+                        _, outcome = future.result()
+                    except Exception:
+                        # BrokenProcessPool (a worker died) or a result that
+                        # failed to unpickle: the key stays pending and the
+                        # pool is not reused this round.
+                        pool_broken = True
+                        continue
+                    if isinstance(outcome, _CellFailure):
+                        continue  # stays pending; cells may still self-record
+                    records_computed += outcome
+                    pending_records.pop(key, None)
+            if not pool_broken and pending_cells:
+                # Phase 2 (replay): every cell runs against the (best-effort)
+                # warm cache.  Futures are submitted for every pending cell;
+                # completed cells leave the pending map, failures keep their
+                # captured traceback for the final error report.
+                cell_futures = {
+                    pool.submit(_worker_run, (index, definition, cell, scale)): index
+                    for index, (definition, cell) in pending_cells.items()
+                }
+                for future in as_completed(cell_futures):
+                    index = cell_futures[future]
+                    cell_attempts[index] = cell_attempts.get(index, 0) + 1
+                    try:
+                        _, outcome = future.result()
+                    except Exception as error:
+                        pool_broken = True
+                        cell_failures[index] = _CellFailure.capture(error)
+                        continue
+                    if isinstance(outcome, _CellFailure):
+                        cell_failures[index] = outcome
+                        continue
+                    cell_results[index] = outcome
+                    pending_cells.pop(index, None)
+                    cell_failures.pop(index, None)
+
+    errors = [
+        _cell_error(cell, cell_failures.get(index), cell_attempts.get(index, 0))
+        for index, (_, cell) in pending_cells.items()
+    ]
+    if pending_records:
+        notes.append(
+            f"{len(pending_records)} schedule recording(s) never completed in "
+            "phase 1; dependent cells recorded in-worker or failed (see errors)"
+        )
+    return records_computed, errors
 
 
 # ---------------------------------------------------------------------- #

@@ -107,6 +107,15 @@ class Scenario:
             Deliberately **not** part of any cache key: backends are
             bit-identical by contract, so the engine choice can never change
             a recorded schedule or a row.
+        faults: Key into the fault-schedule registry
+            (:data:`repro.faults.FAULTS`) selecting the fault plan injected
+            into this scenario's *replay* network (the recording stays
+            fault-free: the question is how the candidate UPS copes when
+            the replay network misbehaves); ``None`` replays fault-free
+            with bit-identical cache keys.
+        fault_seed: Seed for the fault plan's stochastic faults,
+            deliberately independent of the workload seed so the same
+            traffic can be replayed under different fault draws.
     """
 
     name: str
@@ -125,6 +134,8 @@ class Scenario:
     slack_policy: Optional[str] = None
     slack_mode: str = "replay"
     backend: Optional[str] = None
+    faults: Optional[str] = None
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         from repro.core.slack_policy import SLACK_MODES
@@ -194,6 +205,18 @@ class Scenario:
         if self.slack_policy is None or self.slack_mode != "live":
             return None
         return self.slack_policy_def().build_live()
+
+    def fault_plan(self):
+        """This scenario's :class:`repro.faults.FaultPlan`, or ``None``.
+
+        ``None`` (no ``faults`` key) and a plan built from the ``"empty"``
+        schedule hash and replay identically.
+        """
+        if self.faults is None:
+            return None
+        from repro.faults import FAULTS, FaultPlan
+
+        return FaultPlan(FAULTS.get(self.faults), seed=self.fault_seed)
 
     def workload(self) -> WorkloadSpec:
         """The workload for this scenario (distribution + perturbations)."""
@@ -318,6 +341,40 @@ def override_slack_policy(
                     scenario,
                     slack_policy=policy_name,
                     name=f"{scenario.name}+slack:{policy_name}",
+                )
+            )
+    return out
+
+
+def override_faults(
+    scenarios: Sequence[Scenario], fault_name: str, fault_seed: int = 0
+) -> List[Scenario]:
+    """Pin every scenario to fault schedule ``fault_name`` (``--fault`` override).
+
+    Mirrors :func:`override_workload`: scenarios already on that schedule
+    (with the same fault seed) keep their names; overridden ones get a
+    ``+fault:<name>`` suffix so their rows (and cache entries) cannot be
+    mistaken for the fault-free replay's.  The name is validated against the
+    fault registry up front so typos fail before anything runs.
+    """
+    from repro.faults import FAULTS
+
+    try:
+        FAULTS.get(fault_name)  # KeyError lists known fault schedules
+    except KeyError as error:
+        # str(KeyError) is the repr of its message (extra quotes); unwrap.
+        raise PipelineConfigError(error.args[0]) from None
+    out: List[Scenario] = []
+    for scenario in scenarios:
+        if scenario.faults == fault_name and scenario.fault_seed == fault_seed:
+            out.append(scenario)
+        else:
+            out.append(
+                replace(
+                    scenario,
+                    faults=fault_name,
+                    fault_seed=fault_seed,
+                    name=f"{scenario.name}+fault:{fault_name}",
                 )
             )
     return out

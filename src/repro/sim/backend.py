@@ -64,6 +64,7 @@ from repro.sim.engine import Simulator
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports sim)
     from repro.core.schedule import Schedule
     from repro.core.slack import ReplayInitializer
+    from repro.faults.injector import FaultPlan
     from repro.topology.base import Topology
 
 #: Environment variable consulted when no backend is selected explicitly.
@@ -129,6 +130,7 @@ class SimBackend(ABC):
         default_buffer_bytes: Optional[float] = None,
         initializer: Optional["ReplayInitializer"] = None,
         topology: Optional["Topology"] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> bool:
         """Whether :meth:`replay` implements this exact configuration.
 
@@ -136,7 +138,9 @@ class SimBackend(ABC):
         it at hand (backends may decline topology-dependent features such as
         finite per-link buffers); ``None`` means "not yet known" and must be
         answered optimistically — :meth:`replay` re-checks with the real
-        topology and raises if the optimism was misplaced.
+        topology and raises if the optimism was misplaced.  ``faults`` is
+        the fault plan to install during the replay; an empty plan counts as
+        fault-free (backends must treat ``None`` and an empty plan alike).
         """
         return True
 
@@ -149,6 +153,7 @@ class SimBackend(ABC):
         default_buffer_bytes: Optional[float] = None,
         max_events: Optional[int] = None,
         initializer: Optional["ReplayInitializer"] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> "Schedule":
         """Replay ``schedule`` on ``topology``; see :func:`repro.core.replay.replay_schedule`."""
 

@@ -63,6 +63,10 @@ class Network:
         #: the practical heuristics in Section 3 of the paper).
         self.slack_policy = None
 
+        #: Optional fault injector (repro.faults) once a fault plan has been
+        #: installed via :meth:`install_faults`; None on fault-free runs.
+        self.fault_injector = None
+
     # ------------------------------------------------------------------ #
     # Topology construction
     # ------------------------------------------------------------------ #
@@ -233,6 +237,27 @@ class Network:
     def notify_drop(self, packet: Packet) -> None:
         """Record a packet drop with the tracer."""
         self.tracer.on_drop(packet)
+
+    # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+    def install_faults(self, plan, horizon: float):
+        """Install a :class:`repro.faults.FaultPlan` on this network.
+
+        Must be called before the simulation runs (outage toggles are
+        scheduled as absolute-time events).  ``horizon`` is the time span the
+        plan's fractional windows are stretched over — the workload duration
+        when recording, the last recorded ingress time when replaying.
+        Delegates to the plan so this module never imports ``repro.faults``
+        (the fault layer sits above the engine).
+
+        Returns:
+            The installed :class:`repro.faults.FaultInjector`.
+        """
+        if self.fault_injector is not None:
+            raise RuntimeError("a fault plan is already installed on this network")
+        self.fault_injector = plan.install(self.sim, self, horizon)
+        return self.fault_injector
 
     # ------------------------------------------------------------------ #
     # Convenience

@@ -76,6 +76,10 @@ class OutputPort:
         self.packets_transmitted = 0
         self.bytes_transmitted = 0.0
         self.packets_dropped = 0
+        # Fault-injection hook (repro.faults): a PortFaultState while a
+        # fault plan is installed on this port's link, else None.  The None
+        # check is the only fault-layer cost on the fault-free hot path.
+        self.fault_state = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -141,6 +145,14 @@ class OutputPort:
     # Transmission loop
     # ------------------------------------------------------------------ #
     def _start_next(self) -> None:
+        fault_state = self.fault_state
+        if fault_state is not None and fault_state.down:
+            # Link outage: hold the queue; fault_resume() restarts service.
+            self._busy = False
+            self._current_packet = None
+            self._current_started = None
+            self._finish_event = None
+            return
         sim = self.sim
         now = sim.now
         packet = self.scheduler.dequeue(now)
@@ -176,19 +188,54 @@ class OutputPort:
         self.packets_transmitted += 1
         self.bytes_transmitted += packet.size_bytes
 
-        self.node.notify_departure(packet, self)
-        # Deliver after the propagation delay; the downstream node receives
-        # the packet fully assembled (store-and-forward).
-        receive = self._dst_receive
-        if receive is None:
-            receive = self._dst_receive = self.node.network.nodes[self.link.dst].receive
-        sim.schedule(self._link_propagation, receive, packet)
+        fault_state = self.fault_state
+        if fault_state is not None and fault_state.intercepts(packet, sim.now):
+            # Jamming/loss semantics (Böhm et al.): the transmission time was
+            # spent, but the packet is destroyed instead of propagating.
+            self._drop(packet)
+        else:
+            self.node.notify_departure(packet, self)
+            # Deliver after the propagation delay; the downstream node
+            # receives the packet fully assembled (store-and-forward).
+            receive = self._dst_receive
+            if receive is None:
+                receive = self._dst_receive = self.node.network.nodes[self.link.dst].receive
+            sim.schedule(self._link_propagation, receive, packet)
 
         self._busy = False
         self._current_packet = None
         self._current_started = None
         self._finish_event = None
         self._start_next()
+
+    # ------------------------------------------------------------------ #
+    # Fault-injection hooks (repro.faults)
+    # ------------------------------------------------------------------ #
+    def fault_interrupt(self) -> bool:
+        """Abort the in-flight transmission because the link went down.
+
+        Unlike :meth:`_preempt_current`, the interrupted packet is *lost*
+        (its bits were on a link that just failed), not requeued.
+
+        Returns:
+            True if a packet was in flight and destroyed.
+        """
+        packet = self._current_packet
+        if packet is None or self._finish_event is None:
+            return False
+        self.sim.cancel(self._finish_event)
+        packet.remaining_tx_bytes = None
+        self._drop(packet)
+        self._busy = False
+        self._current_packet = None
+        self._current_started = None
+        self._finish_event = None
+        return True
+
+    def fault_resume(self) -> None:
+        """Resume service after the link came back up."""
+        if not self._busy:
+            self._start_next()
 
     def _preempt_current(self) -> None:
         """Abort the in-flight transmission and requeue its remaining bytes."""

@@ -80,7 +80,7 @@ class TestReplayModes:
 
     def test_all_modes_registered(self):
         assert set(REPLAY_MODES) == {
-            "lstf", "lstf-preemptive", "edf", "priority", "omniscient"
+            "lstf", "lstf-preemptive", "edf", "priority", "omniscient", "fifo"
         }
 
     def test_replay_preserves_paths_and_packet_count(self):

@@ -216,3 +216,52 @@ class TestReplayMetrics:
         assert metrics.total_packets == 0
         assert metrics.overdue_fraction == 0.0
         assert metrics.summary()["overdue_fraction"] == 0.0
+
+
+class TestDeliveryMetrics:
+    """The fault-facing metrics: survival rate and deadline-over-delivered."""
+
+    def test_delivered_fraction_counts_missing_packets(self):
+        original = Schedule([record(1), record(2), record(3), record(4)])
+        replay = Schedule([record(1), record(3)])
+        metrics = compare_schedules(original, replay, threshold=0.1)
+        assert metrics.missing_packets == 2
+        assert metrics.delivered_fraction == 0.5
+
+    def test_full_delivery_is_one_even_on_empty_comparison(self):
+        full = compare_schedules(Schedule([record(1)]), Schedule([record(1)]),
+                                 threshold=0.1)
+        assert full.delivered_fraction == 1.0
+        empty = compare_schedules(Schedule(), Schedule(), threshold=0.1)
+        assert empty.delivered_fraction == 1.0
+
+    def test_deadline_over_delivered_conditions_on_survival(self):
+        """Two deadline flows: one destroyed by faults, one delivered late.
+        The unconditional replay metric blames both; the conditional metric
+        only judges the survivor."""
+        original = Schedule(
+            [
+                record(1, output=1.0, deadline=2.0, flow=10),
+                record(2, output=1.0, deadline=2.0, flow=20),
+            ]
+        )
+        replay = Schedule([record(1, output=1.5, flow=10)])  # flow 20 lost
+        metrics = compare_schedules(original, replay, threshold=0.1)
+        assert metrics.deadline_total == 2
+        assert metrics.deadline_flows_delivered == 1
+        assert metrics.deadline_met_fraction_replay == 0.5
+        assert metrics.deadline_met_over_delivered_fraction == 1.0
+
+    def test_partially_missing_flow_counts_as_undelivered(self):
+        """A deadline flow missing ANY packet is not 'delivered', even if
+        its other packets arrived before the deadline."""
+        original = Schedule(
+            [
+                record(1, output=1.0, deadline=3.0, flow=10),
+                record(2, output=1.5, deadline=3.0, flow=10),
+            ]
+        )
+        replay = Schedule([record(1, output=1.0, flow=10)])
+        metrics = compare_schedules(original, replay, threshold=0.1)
+        assert metrics.deadline_flows_delivered == 0
+        assert metrics.deadline_met_over_delivered_fraction == 0.0

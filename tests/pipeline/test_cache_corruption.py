@@ -1,0 +1,67 @@
+"""Graceful degradation when on-disk schedule-cache entries are corrupt."""
+
+import gzip
+import logging
+
+import pytest
+
+from repro.experiments import ExperimentScale
+from repro.pipeline import Scenario, ScheduleCache, replay_scenario
+
+SMOKE = ExperimentScale.smoke()
+
+
+def scenario():
+    return Scenario(name="corrupt-test", scale=SMOKE, utilization=0.5)
+
+
+def entry_path(cache_dir):
+    """Record once and return the on-disk entry's path."""
+    cache = ScheduleCache(cache_dir)
+    replay_scenario(scenario(), cache=cache)
+    assert cache.disk_entries() == 1
+    [path] = list(cache_dir.rglob("*.jsonl.gz"))
+    return path
+
+
+class TestCorruptEntries:
+    def test_truncated_gzip_is_quarantined_and_re_recorded(self, tmp_path, caplog):
+        path = entry_path(tmp_path)
+        # Truncate mid-stream: gzip decompression now fails with EOFError.
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        fresh = ScheduleCache(tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.pipeline.cache"):
+            replay_scenario(scenario(), cache=fresh)
+        assert fresh.stats() == {"hits": 0, "misses": 1, "corrupt_entries": 1}
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert any("corrupt" in record.message for record in caplog.records)
+        # The re-recorded entry is valid again: a third cache hits it.
+        third = ScheduleCache(tmp_path)
+        replay_scenario(scenario(), cache=third)
+        assert third.stats() == {"hits": 1, "misses": 0, "corrupt_entries": 0}
+
+    def test_garbage_bytes_are_quarantined(self, tmp_path):
+        path = entry_path(tmp_path)
+        path.write_bytes(b"this is not gzip at all")
+        fresh = ScheduleCache(tmp_path)
+        replay_scenario(scenario(), cache=fresh)
+        assert fresh.corrupt_entries == 1
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_valid_gzip_invalid_json_is_quarantined(self, tmp_path):
+        path = entry_path(tmp_path)
+        with gzip.open(path, "wt") as handle:
+            handle.write("{not json\n")
+        fresh = ScheduleCache(tmp_path)
+        replay_scenario(scenario(), cache=fresh)
+        assert fresh.corrupt_entries == 1
+
+    def test_rows_survive_corruption(self, tmp_path):
+        """The row computed against the re-recorded schedule is identical."""
+        clean = replay_scenario(scenario(), cache=ScheduleCache(tmp_path))
+        [path] = list(tmp_path.rglob("*.jsonl.gz"))
+        path.write_bytes(b"garbage")
+        recovered = replay_scenario(scenario(), cache=ScheduleCache(tmp_path))
+        assert recovered.overdue_fraction == clean.overdue_fraction
+        assert len(recovered.replayed) == len(clean.replayed)

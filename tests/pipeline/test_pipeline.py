@@ -105,9 +105,9 @@ class TestScheduleCache:
         cache = ScheduleCache()
         scenario = self._scenario()
         replay_scenario(scenario, cache=cache)
-        assert cache.stats() == {"hits": 0, "misses": 1}
+        assert cache.stats() == {"hits": 0, "misses": 1, "corrupt_entries": 0}
         replay_scenario(scenario, mode="priority", cache=cache)
-        assert cache.stats() == {"hits": 1, "misses": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "corrupt_entries": 0}
 
     def test_disk_layer_survives_processes(self, tmp_path):
         scenario = self._scenario()
@@ -119,7 +119,7 @@ class TestScheduleCache:
         # the disk layer instead of re-recording.
         second = ScheduleCache(tmp_path)
         replay_scenario(scenario, cache=second)
-        assert second.stats() == {"hits": 1, "misses": 0}
+        assert second.stats() == {"hits": 1, "misses": 0, "corrupt_entries": 0}
 
 
 # --------------------------------------------------------------------- #

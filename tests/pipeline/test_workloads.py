@@ -92,6 +92,34 @@ class TestCacheKeyStability:
             WORKLOAD_FACTORIES["nope"]
 
 
+class TestFaultPlanCacheKeys:
+    """The fault layer's cache-key contract: absent or empty plans leave
+    every key bit-identical; only a non-empty plan perturbs it."""
+
+    def test_empty_fault_schedule_leaves_key_bit_identical(self):
+        base = Scenario(name="x", scale=SMOKE, utilization=0.5)
+        empty = Scenario(name="x", scale=SMOKE, utilization=0.5, faults="empty")
+        seeded = Scenario(
+            name="x", scale=SMOKE, utilization=0.5, faults="empty", fault_seed=99
+        )
+        assert scenario_cache_key(empty) == scenario_cache_key(base)
+        assert scenario_cache_key(seeded) == scenario_cache_key(base)
+
+    def test_nonempty_fault_schedule_and_seed_perturb_key(self):
+        base = Scenario(name="x", scale=SMOKE, utilization=0.5)
+        faulty = Scenario(name="x", scale=SMOKE, utilization=0.5, faults="loss-5pct")
+        reseeded = Scenario(
+            name="x", scale=SMOKE, utilization=0.5, faults="loss-5pct", fault_seed=1
+        )
+        keys = {scenario_cache_key(s) for s in (base, faulty, reseeded)}
+        assert len(keys) == 3
+
+    def test_fault_seed_alone_never_perturbs_key(self):
+        base = Scenario(name="x", scale=SMOKE, utilization=0.5)
+        reseeded = Scenario(name="x", scale=SMOKE, utilization=0.5, fault_seed=7)
+        assert scenario_cache_key(reseeded) == scenario_cache_key(base)
+
+
 # --------------------------------------------------------------------- #
 # Two-phase runner: record once, replay everywhere
 # --------------------------------------------------------------------- #

@@ -35,8 +35,9 @@ class TestDocsLinkGate:
 
     def test_docs_directory_is_covered(self):
         result = run_tool("check_docs.py")
-        # README + architecture + backends + cli + experiments + slack-policies.
-        assert "6 file(s)" in result.stdout
+        # README + architecture + backends + cli + experiments
+        # + slack-policies + faults.
+        assert "7 file(s)" in result.stdout
 
     def test_broken_relative_link_fails(self, tmp_path):
         offender = tmp_path / "bad.md"

@@ -3,8 +3,8 @@
 
 Walks every module in the packages named on the command line (default:
 ``repro.core``, ``repro.pipeline``, ``repro.schedulers``, ``repro.traffic``,
-``repro.experiments``) and fails if any *public* module, class, function, or
-method defined there lacks a docstring.
+``repro.experiments``, ``repro.faults``) and fails if any *public* module,
+class, function, or method defined there lacks a docstring.
 "Public" means the dotted path contains no ``_``-prefixed component;
 inherited members and re-exports defined elsewhere are skipped, so each
 symbol is checked exactly once, where it is defined.
@@ -29,6 +29,7 @@ DEFAULT_PACKAGES = (
     "repro.schedulers",
     "repro.traffic",
     "repro.experiments",
+    "repro.faults",
 )
 
 
