@@ -35,6 +35,22 @@ Subcommands:
 
       python -m repro bench --quick --repeat 3 --out BENCH_PR3.json
       python -m repro bench --quick --baseline BENCH_PR3.json --check
+
+* ``diff`` — compare two schedules (or a schedule against a fresh replay of
+  itself, or re-run a fuzz artifact) and report the first divergent packet
+  with a field-level diff; exit 0 = match, 1 = diverged, 2 = config error::
+
+      python -m repro diff a.jsonl.gz b.jsonl.gz
+      python -m repro diff --replay schedule.jsonl.gz --backend compiled
+      python -m repro diff --case fuzz-artifacts/case-1-7.json
+
+* ``fuzz`` — differential fuzzing of the bit-identity contract: seeded
+  random scenarios replayed through every available backend pair plus
+  live-vs-replay twins, with failures shrunk to minimal repro artifacts::
+
+      python -m repro fuzz --budget 25 --seed 1 --artifacts fuzz-artifacts
+
+See ``docs/diff.md`` for the comparator contract and the fuzz workflow.
 """
 
 from __future__ import annotations
@@ -46,6 +62,72 @@ from typing import List, Optional
 
 #: Default directory for the on-disk schedule cache.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class _CLIError(Exception):
+    """A user-facing configuration error (printed to stderr, exit 2)."""
+
+
+def _build_initializer(mode: str, slack_policy: Optional[str]):
+    """The replay initializer for ``--slack-policy``, or ``None``.
+
+    Raises:
+        _CLIError: unknown policy, policy/mode mismatch, or a live-only
+            policy that cannot drive a replay.
+    """
+    if slack_policy is None:
+        return None
+    from repro.core.slack_policy import POLICY_COMPATIBLE_MODES, SLACK_POLICIES
+
+    try:
+        policy = SLACK_POLICIES.get(slack_policy)
+    except KeyError as error:
+        raise _CLIError(error.args[0]) from error
+    if mode not in POLICY_COMPATIBLE_MODES:
+        raise _CLIError(
+            f"slack policy {policy.name!r} cannot drive replay mode "
+            f"{mode!r}; compatible modes: {', '.join(POLICY_COMPATIBLE_MODES)}"
+        )
+    try:
+        return policy.build_initializer()
+    except ValueError as error:  # live-only policy
+        raise _CLIError(str(error)) from error
+
+
+def _build_fault_plan(fault: Optional[str], fault_seed: int):
+    """The fault plan for ``--fault``, or ``None``.
+
+    Raises:
+        _CLIError: unknown fault-schedule name.
+    """
+    if fault is None:
+        return None
+    from repro.faults import FAULTS, FaultPlan
+
+    try:
+        return FaultPlan(FAULTS.get(fault), seed=fault_seed)
+    except KeyError as error:
+        raise _CLIError(error.args[0]) from error
+
+
+def _load_schedule_file(path: str):
+    """Load a schedule file, mapping every read/parse failure to exit 2.
+
+    Raises:
+        _CLIError: missing or unreadable file, truncated gzip stream
+            (``EOFError``), malformed JSON lines (``ValueError``), or record
+            lines missing required fields (``KeyError``).
+    """
+    from repro.core.schedule import load_schedule
+
+    try:
+        return load_schedule(path)
+    except (OSError, EOFError, ValueError) as error:
+        raise _CLIError(f"cannot load {path}: {error}") from error
+    except KeyError as error:
+        raise _CLIError(
+            f"cannot load {path}: record missing required field {error}"
+        ) from error
 
 
 def _scale(name: str):
@@ -394,10 +476,7 @@ def cmd_record(args: argparse.Namespace) -> int:
 # replay
 # ---------------------------------------------------------------------- #
 def cmd_replay(args: argparse.Namespace) -> int:
-    import gzip
-
     from repro.core.replay import REPLAY_MODES, evaluate_replay
-    from repro.core.schedule import load_schedule
     from repro.pipeline.scenario import PipelineConfigError
     from repro.sim.flow import reset_flow_ids
     from repro.sim.packet import reset_packet_ids
@@ -407,41 +486,12 @@ def cmd_replay(args: argparse.Namespace) -> int:
         known = ", ".join(sorted(REPLAY_MODES))
         print(f"error: unknown replay mode {args.mode!r}; known: {known}", file=sys.stderr)
         return 2
-    initializer = None
-    if args.slack_policy is not None:
-        from repro.core.slack_policy import POLICY_COMPATIBLE_MODES, SLACK_POLICIES
-
-        try:
-            policy = SLACK_POLICIES.get(args.slack_policy)
-        except KeyError as error:
-            print(f"error: {error.args[0]}", file=sys.stderr)
-            return 2
-        if args.mode not in POLICY_COMPATIBLE_MODES:
-            print(
-                f"error: slack policy {policy.name!r} cannot drive replay mode "
-                f"{args.mode!r}; compatible modes: "
-                f"{', '.join(POLICY_COMPATIBLE_MODES)}",
-                file=sys.stderr,
-            )
-            return 2
-        try:
-            initializer = policy.build_initializer()
-        except ValueError as error:  # live-only policy
-            print(f"error: {error}", file=sys.stderr)
-            return 2
-    fault_plan = None
-    if args.fault is not None:
-        from repro.faults import FAULTS, FaultPlan
-
-        try:
-            fault_plan = FaultPlan(FAULTS.get(args.fault), seed=args.fault_seed)
-        except KeyError as error:
-            print(f"error: {error.args[0]}", file=sys.stderr)
-            return 2
     try:
-        schedule, meta = load_schedule(args.schedule)
-    except (OSError, ValueError, gzip.BadGzipFile) as error:
-        print(f"error: cannot load {args.schedule}: {error}", file=sys.stderr)
+        initializer = _build_initializer(args.mode, args.slack_policy)
+        fault_plan = _build_fault_plan(args.fault, args.fault_seed)
+        schedule, meta = _load_schedule_file(args.schedule)
+    except _CLIError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     if "topology" not in meta:
         print(
@@ -534,6 +584,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         # e.g. --backend vectorized without numpy installed
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except RuntimeError as error:
+        # Determinism violation: the message embeds the first-divergence
+        # report (repro.diff) for the packet that broke bit-identity.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
     payload = bench_payload(report, label=args.label, baseline=baseline)
     if args.out is not None:
@@ -569,6 +624,182 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"perf gate OK (threshold: {args.max_slowdown:.0%} slowdown)")
     return 0
+
+
+# ---------------------------------------------------------------------- #
+# diff
+# ---------------------------------------------------------------------- #
+def _diff_report(divergence, matched_label: str, as_json: bool) -> int:
+    """Print a comparison outcome; exit 0 on match, 1 on divergence."""
+    if as_json:
+        payload = {
+            "match": divergence is None,
+            "divergence": None if divergence is None else divergence.to_dict(),
+        }
+        print(json.dumps(payload, indent=2, default=str))
+    elif divergence is None:
+        print(matched_label)
+    else:
+        print(divergence.format())
+    return 0 if divergence is None else 1
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.diff import first_divergence
+    from repro.pipeline.scenario import PipelineConfigError
+
+    sources = [
+        bool(args.schedules),
+        args.replay is not None,
+        args.case is not None,
+    ]
+    if sum(sources) != 1:
+        print(
+            "error: give exactly one comparison source — two schedule files, "
+            "--replay <schedule>, or --case <artifact>",
+            file=sys.stderr,
+        )
+        return 2
+    if args.schedules and len(args.schedules) != 2:
+        print(
+            f"error: expected exactly two schedule files, got "
+            f"{len(args.schedules)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        if args.case is not None:
+            # Re-run a fuzz artifact: rebuild the minimized scenario and its
+            # comparison spec, then run it exactly as the fuzzer did.
+            from repro.diff import load_case, run_comparison
+
+            try:
+                scenario, spec = load_case(args.case)
+            except (OSError, ValueError, KeyError, TypeError) as error:
+                raise _CLIError(f"cannot load case {args.case}: {error}") from error
+            divergence = run_comparison(scenario, spec, context=args.context)
+            return _diff_report(
+                divergence,
+                f"case {args.case} no longer diverges "
+                f"({scenario.name}, {spec.describe()})",
+                args.json,
+            )
+
+        if args.replay is not None:
+            # Replay the schedule twice — reference engine versus --backend
+            # (default: the reference again, a pure determinism twin) — and
+            # diff the two replays.
+            from repro.core.replay import REPLAY_MODES, replay_pair
+            from repro.sim.backend import get_backend
+            from repro.topology.base import Topology
+
+            if args.mode not in REPLAY_MODES:
+                raise _CLIError(
+                    f"unknown replay mode {args.mode!r}; known: "
+                    f"{', '.join(sorted(REPLAY_MODES))}"
+                )
+            initializer = _build_initializer(args.mode, args.slack_policy)
+            fault_plan = _build_fault_plan(args.fault, args.fault_seed)
+            schedule, meta = _load_schedule_file(args.replay)
+            if "topology" not in meta:
+                raise _CLIError(
+                    f"{args.replay} carries no topology spec; "
+                    "was it written by `python -m repro record`?"
+                )
+            topology = Topology.from_dict(meta["topology"])
+            backend_name = args.backend or "python"
+            backend = get_backend(backend_name)
+            if backend_name != "python" and not backend.supports_replay(
+                args.mode,
+                initializer=initializer,
+                topology=topology,
+                faults=fault_plan,
+            ):
+                print(
+                    f"note: backend {backend_name!r} declines this "
+                    "configuration; its leg falls back to the reference "
+                    "engine (the diff degenerates to a determinism twin)",
+                    file=sys.stderr,
+                )
+            replayed_a, replayed_b = replay_pair(
+                topology,
+                schedule,
+                "python",
+                backend_name,
+                mode=args.mode,
+                initializer=initializer,
+                faults=fault_plan,
+            )
+            label_b = (
+                backend_name if backend_name != "python" else "python#2"
+            )
+            divergence = first_divergence(
+                replayed_a,
+                replayed_b,
+                context=args.context,
+                label_a="python",
+                label_b=label_b,
+            )
+            return _diff_report(
+                divergence,
+                f"replays bit-identical: {len(replayed_a)} packets of "
+                f"{args.replay} under {args.mode} (python vs {label_b})",
+                args.json,
+            )
+
+        path_a, path_b = args.schedules
+        schedule_a, _ = _load_schedule_file(path_a)
+        schedule_b, _ = _load_schedule_file(path_b)
+        divergence = first_divergence(
+            schedule_a,
+            schedule_b,
+            context=args.context,
+            label_a=path_a,
+            label_b=path_b,
+        )
+        return _diff_report(
+            divergence,
+            f"schedules match: {len(schedule_a)} packets bit-identical",
+            args.json,
+        )
+    except _CLIError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except PipelineConfigError as error:
+        # e.g. --backend compiled without the built kernel extension
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+# ---------------------------------------------------------------------- #
+# fuzz
+# ---------------------------------------------------------------------- #
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.diff import run_fuzz
+    from repro.pipeline.scenario import PipelineConfigError
+
+    if args.budget < 1:
+        print("error: --budget must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        report = run_fuzz(
+            budget=args.budget,
+            seed=args.seed,
+            scale=_scale(args.scale),
+            context=args.context,
+            artifact_dir=None if args.no_artifacts else args.artifacts,
+            shrink=not args.no_shrink,
+            log=None if args.json else print,
+        )
+    except PipelineConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, default=str))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
 
 
 # ---------------------------------------------------------------------- #
@@ -766,6 +997,112 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--label", default=None, help="free-form label for this run")
     bench_parser.add_argument("--json", action="store_true", help="emit the JSON payload")
     bench_parser.set_defaults(func=cmd_bench)
+
+    diff_parser = subparsers.add_parser(
+        "diff",
+        help="first-divergence comparison of two schedules (or schedule vs "
+        "fresh replay); exit 0 match, 1 diverged, 2 config error",
+    )
+    diff_parser.add_argument(
+        "schedules",
+        nargs="*",
+        help="two schedule files written by `record` (omit when using "
+        "--replay or --case)",
+    )
+    diff_parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="SCHEDULE",
+        help="instead of two files: replay this schedule twice — reference "
+        "engine vs --backend — and diff the replays (--backend python "
+        "checks run-over-run determinism)",
+    )
+    diff_parser.add_argument(
+        "--case",
+        default=None,
+        metavar="ARTIFACT",
+        help="re-run a fuzz repro artifact written by `fuzz` and diff it",
+    )
+    diff_parser.add_argument(
+        "--mode",
+        default="lstf",
+        help="replay mode for --replay: lstf, lstf-preemptive, edf, "
+        "priority, omniscient, fifo (default: lstf)",
+    )
+    diff_parser.add_argument(
+        "--slack-policy",
+        default=None,
+        help="replay-side slack policy for --replay (see `list --slack-policies`)",
+    )
+    diff_parser.add_argument(
+        "--fault",
+        default=None,
+        help="fault schedule injected into both --replay legs (see `list --faults`)",
+    )
+    diff_parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the --fault schedule's randomness (default: 0)",
+    )
+    diff_parser.add_argument(
+        "--context",
+        type=int,
+        default=8,
+        help="packets of per-port ordering context around a divergence (default: 8)",
+    )
+    _add_backend_argument(diff_parser)
+    diff_parser.add_argument("--json", action="store_true", help="emit JSON")
+    diff_parser.set_defaults(func=cmd_diff)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing of the bit-identity contract across "
+        "backends and live-vs-replay twins",
+    )
+    fuzz_parser.add_argument(
+        "--budget",
+        type=int,
+        default=25,
+        help="number of seeded random cases (default: 25)",
+    )
+    fuzz_parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="fuzz-stream seed; same seed = same cases everywhere (default: 1)",
+    )
+    fuzz_parser.add_argument(
+        "--scale",
+        choices=("quick", "smoke", "paper"),
+        default="smoke",
+        help="scale preset for the fuzzed scenarios (default: smoke — "
+        "fuzzing wants many small cases)",
+    )
+    fuzz_parser.add_argument(
+        "--context",
+        type=int,
+        default=8,
+        help="packets of per-port ordering context in divergence reports (default: 8)",
+    )
+    fuzz_parser.add_argument(
+        "--artifacts",
+        default="fuzz-artifacts",
+        metavar="DIR",
+        help="directory for minimized repro artifacts (default: fuzz-artifacts)",
+    )
+    fuzz_parser.add_argument(
+        "--no-artifacts",
+        action="store_true",
+        help="do not persist repro artifacts for failing cases",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="persist failing scenarios as found, without minimization",
+    )
+    fuzz_parser.add_argument("--json", action="store_true", help="emit JSON")
+    fuzz_parser.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -309,6 +309,50 @@ def replay_schedule(
     )
 
 
+def replay_pair(
+    topology: Topology,
+    schedule: Schedule,
+    backend_a: Union[str, SimBackend, None],
+    backend_b: Union[str, SimBackend, None],
+    mode: str = "lstf",
+    initializer: Optional[ReplayInitializer] = None,
+    faults=None,
+) -> tuple:
+    """Replay ``schedule`` twice — once per backend — for differential comparison.
+
+    This is the diff tool's replay entry (:mod:`repro.diff`): both legs
+    replay the *same* recorded schedule on fresh instances of the same
+    topology, with the global packet/flow id counters reset before each leg
+    so neither run can perturb the other.  By the backend bit-identity
+    contract the two replayed schedules must be identical — any difference
+    is a backend bug, and :func:`repro.diff.first_divergence` pinpoints it.
+
+    Passing the same backend twice is the determinism twin: it verifies a
+    single engine replays reproducibly run-over-run.
+
+    Returns:
+        ``(replayed_a, replayed_b)`` — both keyed by original packet ids.
+    """
+    from repro.sim.flow import reset_flow_ids
+    from repro.sim.packet import reset_packet_ids
+
+    legs = []
+    for backend in (backend_a, backend_b):
+        reset_packet_ids()
+        reset_flow_ids()
+        legs.append(
+            replay_schedule(
+                topology,
+                schedule,
+                mode=mode,
+                initializer=initializer,
+                backend=backend,
+                faults=faults,
+            )
+        )
+    return legs[0], legs[1]
+
+
 def evaluate_replay(
     topology: Topology,
     original: Schedule,

@@ -294,6 +294,18 @@ class Schedule:
         """All records, ordered by ingress time (then packet id)."""
         return sorted(self._records.values(), key=_RECORD_ORDER)
 
+    def canonical_records(self) -> List[PacketRecord]:
+        """Records in the comparator's canonical order.
+
+        The canonical order is ``(ingress_time, packet_id)`` across records,
+        with each record's hops visited in ``hop_index`` order — the walk
+        order of the first-divergence comparator (:mod:`repro.diff`), of
+        replay injection, and of the on-disk format.  Today this is exactly
+        :meth:`records`; the alias exists so every canonical-order consumer
+        names the contract it depends on.
+        """
+        return self.records()
+
     def packet_ids(self) -> List[int]:
         """All packet ids present in the schedule."""
         return list(self._records.keys())

@@ -205,7 +205,10 @@ class ScheduleCache:
         A corrupt on-disk entry (truncated gzip, undecodable JSON, a packet
         count that does not match its header) never aborts the run: the file
         is quarantined as ``<key>.jsonl.gz.corrupt``, a warning is logged,
-        and the entry is re-recorded as if it had never existed.
+        and the entry is re-recorded as if it had never existed.  A cache
+        directory that cannot be written at all (read-only, disk full)
+        degrades the same way — the quarantine rename and the re-persist
+        are both best-effort, and the run continues on the in-memory copy.
 
         Args:
             topology: Topology spec (part of the key and stored as metadata).
@@ -261,7 +264,19 @@ class ScheduleCache:
                     meta["slack_mode"] = slack_mode
             if faults is not None and faults.fingerprint() is not None:
                 meta["faults"] = faults.to_dict()
-            save_schedule(path, schedule, meta=meta)
+            try:
+                save_schedule(path, schedule, meta=meta)
+            except OSError as error:
+                # A read-only or full cache directory degrades the disk
+                # layer, it must not abort the run: the freshly recorded
+                # in-memory schedule is still returned.
+                logger.warning(
+                    "cannot persist schedule cache entry %s (%s: %s); "
+                    "continuing without the on-disk copy",
+                    path,
+                    type(error).__name__,
+                    error,
+                )
         return schedule, key
 
     def _quarantine(self, path: Path, error: Exception) -> None:

@@ -277,6 +277,33 @@ def describe_backends() -> List[dict]:
     return entries
 
 
+def available_backend_names(mode: str = "lstf") -> List[str]:
+    """Backends that can actually replay here, reference engine first.
+
+    The reference ``"python"`` engine always leads; every other registered
+    backend follows in trajectory order (``vectorized``, ``compiled``, then
+    any third-party registrations sorted by name), *skipping* backends whose
+    dependencies are missing or whose extension is not built, and backends
+    that decline ``mode``.  This is the backend enumeration the replay-path
+    bench, the differential fuzz harness, and ``repro diff --replay`` all
+    share: "every available backend" means exactly this list.
+    """
+    from repro.pipeline.scenario import PipelineConfigError
+
+    preferred = ["python", "vectorized", "compiled"]
+    names = [name for name in preferred if name in backend_names()]
+    names += [name for name in sorted(backend_names()) if name not in preferred]
+    usable: List[str] = []
+    for name in names:
+        try:
+            backend = get_backend(name)
+        except PipelineConfigError:
+            continue
+        if name == "python" or backend.supports_replay(mode):
+            usable.append(name)
+    return usable
+
+
 def resolve_backend(selector: Union[str, SimBackend, None]) -> SimBackend:
     """Resolve a backend selector to an instance.
 

@@ -342,3 +342,102 @@ class TestCli:
 
     def test_bench_verb_unknown_experiment(self, capsys):
         assert main(["bench", "nope", "--scale", "smoke"]) == 2
+
+
+class TestDigestDivergenceReport:
+    """A cross-backend digest mismatch raises with a first-divergence report."""
+
+    @staticmethod
+    def _schedule(perturb=None):
+        from repro.core.schedule import HopTiming, PacketRecord, Schedule
+
+        records = []
+        for i in range(4):
+            base = 0.01 * i
+            hops = [
+                HopTiming("sw0", base, base + 1e-3, base + 2e-3),
+                HopTiming("sw1", base + 3e-3, base + 4e-3, base + 5e-3),
+            ]
+            records.append(
+                PacketRecord(
+                    packet_id=i,
+                    flow_id=0,
+                    src="h0",
+                    dst="h1",
+                    size_bytes=1000.0,
+                    ingress_time=base,
+                    output_time=base + 6e-3,
+                    path=["sw0", "sw1", "h1"],
+                    hops=hops,
+                )
+            )
+        schedule = Schedule(records)
+        if perturb is not None:
+            schedule.record(perturb).hops[1].departure_time += 1e-6
+        return schedule
+
+    def test_report_names_first_divergent_packet_and_field(self, monkeypatch):
+        import repro.core.replay as replay_module
+        from repro.bench.harness import _digest_divergence_report
+        from types import SimpleNamespace
+
+        pair = (self._schedule(), self._schedule(perturb=2))
+        monkeypatch.setattr(replay_module, "replay_pair", lambda *a, **k: pair)
+        scenario = SimpleNamespace(name="I2-test", replay_mode="lstf")
+        message = _digest_divergence_report(
+            [(scenario, None, None, pair[0])], "python", "vectorized", "aa", "bb"
+        )
+        assert "bit-identity contract broken" in message
+        assert "I2-test" in message
+        assert "packet 2" in message
+        assert "hops[1].departure_time" in message
+        assert "'vectorized'" in message
+
+    def test_fallback_when_re_replay_is_clean(self, monkeypatch):
+        import repro.core.replay as replay_module
+        from repro.bench.harness import _digest_divergence_report
+        from types import SimpleNamespace
+
+        same = self._schedule()
+        monkeypatch.setattr(replay_module, "replay_pair", lambda *a, **k: (same, same))
+        scenario = SimpleNamespace(name="I2-test", replay_mode="lstf")
+        message = _digest_divergence_report(
+            [(scenario, None, None, same)], "python", "vectorized", "aa", "bb"
+        )
+        assert "not deterministic" in message
+
+    def test_run_bench_raises_the_report(self, monkeypatch):
+        import repro.bench.harness as harness
+
+        def fake_group(prepared, backend="python", repeat=1):
+            return _bench(
+                name=f"table1:replay@{backend}",
+                digest="ref" if backend == "python" else "bad",
+            )
+
+        monkeypatch.setattr(harness, "bench_replay_path", fake_group)
+        monkeypatch.setattr(harness, "prepare_replay_cells", lambda scale: [])
+        monkeypatch.setattr(
+            harness, "available_replay_backends", lambda: ["python", "vectorized"]
+        )
+        monkeypatch.setattr(
+            harness,
+            "_digest_divergence_report",
+            lambda *args: "DIVERGENCE REPORT SENTINEL",
+        )
+        monkeypatch.setattr(
+            harness, "bench_experiment", lambda *a, **k: _bench(name="table1")
+        )
+        with pytest.raises(RuntimeError, match="DIVERGENCE REPORT SENTINEL"):
+            harness.run_bench(["table1"], scale="smoke")
+
+    def test_cli_bench_reports_divergence_and_exits_1(self, monkeypatch, capsys):
+        import repro.bench
+
+        def exploding_run_bench(*args, **kwargs):
+            raise RuntimeError("first divergence: packet 7 ...")
+
+        monkeypatch.setattr(repro.bench, "run_bench", exploding_run_bench)
+        assert main(["bench", "table1", "--quick"]) == 1
+        err = capsys.readouterr().err
+        assert "first divergence: packet 7" in err

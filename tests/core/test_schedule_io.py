@@ -206,3 +206,29 @@ class TestRecordedScheduleRoundTrip:
         reloaded = evaluate_replay(rebuilt, loaded, mode="lstf")
         assert reloaded.metrics.overdue_count == fresh.metrics.overdue_count
         assert reloaded.metrics.threshold == fresh.metrics.threshold
+
+
+class TestCanonicalRecords:
+    """`canonical_records` is the comparator's walk order, pinned here."""
+
+    def test_sorted_by_ingress_time_then_packet_id(self):
+        def rec(packet_id, ingress):
+            return PacketRecord(
+                packet_id=packet_id,
+                flow_id=0,
+                src="a",
+                dst="b",
+                size_bytes=100.0,
+                ingress_time=ingress,
+                output_time=ingress + 1.0,
+                path=["a", "b"],
+                hops=[],
+            )
+
+        # Inserted deliberately out of order, with an ingress tie on 7/3.
+        schedule = Schedule([rec(7, 0.5), rec(1, 0.9), rec(3, 0.5), rec(2, 0.1)])
+        order = [
+            (r.ingress_time, r.packet_id) for r in schedule.canonical_records()
+        ]
+        assert order == [(0.1, 2), (0.5, 3), (0.5, 7), (0.9, 1)]
+        assert order == sorted(order)

@@ -1,0 +1,226 @@
+"""Differential fuzz harness: synthesis, shrinking, artifacts, CLI."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.diff import (
+    ComparisonSpec,
+    Divergence,
+    FuzzFailure,
+    load_case,
+    run_comparison,
+    run_fuzz,
+    write_artifact,
+)
+from repro.diff import fuzz as fuzz_module
+from repro.diff.fuzz import LIVE_TWIN_POLICIES, case_plan, shrink_case
+from repro.pipeline.synth import (
+    random_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+    simplified,
+)
+
+
+def fake_divergence(packet_id=7):
+    return Divergence(packet_id=packet_id, flow_id=1, index=0, kind="fields")
+
+
+class TestScenarioSynthesis:
+    def test_same_seed_and_index_is_identical(self):
+        assert random_scenario(1, 5) == random_scenario(1, 5)
+
+    def test_different_index_differs(self):
+        stream = [random_scenario(1, i) for i in range(10)]
+        assert len(set(stream)) == 10
+
+    def test_dict_round_trip_is_lossless(self):
+        for index in range(12):
+            scenario = random_scenario(3, index)
+            assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+    def test_dict_form_is_json_serializable(self):
+        payload = json.dumps(scenario_to_dict(random_scenario(1, 0)))
+        assert scenario_from_dict(json.loads(payload)) == random_scenario(1, 0)
+
+    def test_simplified_candidates_shrink_one_dimension_each(self):
+        scenario = dataclasses.replace(
+            random_scenario(1, 0),
+            faults="loss-1pct",
+            slack_policy="zero",
+            replay_mode="lstf",
+            workload_name="incast-burst",
+            topology="fattree",
+            utilization=0.9,
+            original="fq",
+        )
+        descriptions = [description for description, _ in simplified(scenario)]
+        assert "drop fault plan" in descriptions
+        assert "drop slack policy" in descriptions
+        assert "plain workload" in descriptions
+        assert "internet2 topology" in descriptions
+        assert "fifo original" in descriptions
+        for _, candidate in simplified(scenario):
+            assert candidate != scenario
+
+    def test_fully_minimal_scenario_has_no_candidates(self):
+        scenario = dataclasses.replace(
+            random_scenario(1, 0),
+            faults=None,
+            fault_seed=0,
+            slack_policy=None,
+            workload_name="paper-default",
+            topology="internet2",
+            topology_args=(),
+            duration_scale=0.25,
+            utilization=0.5,
+            original="fifo",
+        )
+        assert simplified(scenario) == []
+
+
+class TestCasePlan:
+    def test_live_twin_every_fourth_case(self):
+        scenario, specs = case_plan(1, 3, ["python", "vectorized"])
+        assert [spec.kind for spec in specs] == ["live-replay"]
+        assert scenario.slack_policy in LIVE_TWIN_POLICIES
+        assert scenario.replay_mode == "lstf"
+        assert scenario.faults is None
+
+    def test_backend_cases_pair_reference_with_each_backend(self):
+        _, specs = case_plan(1, 0, ["python", "vectorized", "compiled"])
+        assert specs[0].kind == "twin"
+        assert [(s.backend_a, s.backend_b) for s in specs[1:]] == [
+            ("python", "vectorized"),
+            ("python", "compiled"),
+        ]
+
+    def test_live_replay_spec_requires_stateless_policy(self):
+        scenario, _ = case_plan(1, 0, ["python"])  # no policy coercion
+        scenario = dataclasses.replace(scenario, slack_policy=None)
+        with pytest.raises(ValueError, match="stateless policy"):
+            run_comparison(scenario, ComparisonSpec("live-replay"))
+
+
+class TestArtifacts:
+    def test_write_and_load_round_trip(self, tmp_path):
+        scenario, [spec] = case_plan(5, 3, ["python"])
+        failure = FuzzFailure(
+            index=3,
+            scenario=scenario,
+            comparison=spec,
+            divergence=fake_divergence(),
+            shrink_steps=["drop fault plan"],
+        )
+        path = write_artifact(str(tmp_path), 5, failure)
+        assert path.endswith("case-5-3.json")
+        loaded_scenario, loaded_spec = load_case(path)
+        assert loaded_scenario == scenario
+        assert loaded_spec == spec
+        payload = json.loads(open(path).read())
+        assert payload["format"] == "repro-fuzz-case/1"
+        assert payload["divergence"]["packet_id"] == 7
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "notacase.json"
+        path.write_text('{"format": "repro-bench/1"}\n')
+        with pytest.raises(ValueError, match="not a repro-fuzz-case/1"):
+            load_case(str(path))
+
+
+class TestShrinking:
+    def test_shrinks_to_the_dimensions_that_matter(self, monkeypatch):
+        # Fake oracle: the divergence "needs" the fault plan and nothing else.
+        def oracle(scenario, spec, context=8):
+            return fake_divergence() if scenario.faults is not None else None
+
+        monkeypatch.setattr(fuzz_module, "run_comparison", oracle)
+        scenario = dataclasses.replace(
+            random_scenario(1, 0),
+            faults="loss-1pct",
+            slack_policy=None,
+            workload_name="incast-burst",
+            topology="fattree",
+            original="fq",
+            utilization=0.9,
+        )
+        minimal, divergence, steps = shrink_case(scenario, ComparisonSpec("twin"))
+        assert divergence is not None
+        assert minimal.faults == "loss-1pct"  # the load-bearing dimension stays
+        assert minimal.workload_name == "paper-default"
+        assert minimal.topology == "internet2"
+        assert minimal.original == "fifo"
+        assert "plain workload" in steps and "fifo original" in steps
+
+    def test_refuses_a_non_diverging_scenario(self, monkeypatch):
+        monkeypatch.setattr(fuzz_module, "run_comparison", lambda *a, **k: None)
+        with pytest.raises(ValueError, match="does not diverge"):
+            shrink_case(random_scenario(1, 0), ComparisonSpec("twin"))
+
+    def test_live_replay_shrink_keeps_the_policy(self, monkeypatch):
+        calls = []
+
+        def oracle(scenario, spec, context=8):
+            calls.append(scenario)
+            return fake_divergence()
+
+        monkeypatch.setattr(fuzz_module, "run_comparison", oracle)
+        scenario, [spec] = case_plan(1, 3, ["python"])
+        minimal, _, _ = shrink_case(scenario, spec)
+        assert minimal.slack_policy in LIVE_TWIN_POLICIES
+        assert all(s.slack_policy in LIVE_TWIN_POLICIES for s in calls)
+
+
+class TestRunFuzz:
+    def test_small_real_sweep_is_clean(self):
+        # Two real backend-diff cases through every available backend; any
+        # divergence here is a genuine contract break.
+        report = run_fuzz(budget=2, seed=1, artifact_dir=None)
+        assert report.ok
+        assert report.cases == 2
+        assert report.comparisons >= 2
+        assert "no divergence" in report.format()
+        json.dumps(report.to_dict())
+
+    def test_failure_path_shrinks_and_persists(self, tmp_path, monkeypatch):
+        def oracle(scenario, spec, context=8):
+            return fake_divergence() if scenario.name.endswith("-0") else None
+
+        monkeypatch.setattr(fuzz_module, "run_comparison", oracle)
+        lines = []
+        report = run_fuzz(
+            budget=2,
+            seed=9,
+            artifact_dir=str(tmp_path),
+            log=lines.append,
+        )
+        assert not report.ok
+        [failure] = report.failures
+        assert failure.index == 0
+        assert failure.artifact_path is not None
+        scenario, spec = load_case(failure.artifact_path)
+        assert scenario == failure.scenario
+        assert any("DIVERGENCE" in line for line in lines)
+        assert "DIVERGENCE in case 0" in report.format()
+        assert report.to_dict()["divergences"] == 1
+
+
+class TestFuzzCli:
+    def test_budget_one_exit_0(self, capsys):
+        assert cli_main(["fuzz", "--budget", "1", "--no-artifacts"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergence" in out
+
+    def test_json_output(self, capsys):
+        code = cli_main(["fuzz", "--budget", "1", "--no-artifacts", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-fuzz-report/1"
+        assert payload["divergences"] == 0
+
+    def test_bad_budget_exit_2(self, capsys):
+        assert cli_main(["fuzz", "--budget", "0"]) == 2
+        assert "--budget" in capsys.readouterr().err

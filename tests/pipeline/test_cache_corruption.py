@@ -65,3 +65,53 @@ class TestCorruptEntries:
         recovered = replay_scenario(scenario(), cache=ScheduleCache(tmp_path))
         assert recovered.overdue_fraction == clean.overdue_fraction
         assert len(recovered.replayed) == len(clean.replayed)
+
+
+class TestQuarantineUnderReadOnlyCache:
+    """The `.corrupt` rename itself failing must not break the run."""
+
+    def test_failed_rename_is_tolerated(self, tmp_path, caplog, monkeypatch):
+        # Simulate EACCES on the rename regardless of who runs the suite
+        # (root bypasses directory permissions, so chmod alone cannot).
+        import repro.pipeline.cache as cache_module
+
+        path = entry_path(tmp_path)
+        path.write_bytes(b"garbage")
+
+        real_replace = cache_module.os.replace
+
+        def deny_replace(src, dst):
+            # Only the quarantine rename fails; save_schedule's atomic
+            # tmp->final rename (same os module) keeps working.
+            if str(dst).endswith(".corrupt"):
+                raise OSError(13, "Permission denied", str(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(cache_module.os, "replace", deny_replace)
+        fresh = ScheduleCache(tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.pipeline.cache"):
+            result = replay_scenario(scenario(), cache=fresh)
+        assert fresh.corrupt_entries == 1
+        assert result.replayed is not None  # the run still re-recorded
+        assert not path.with_name(path.name + ".corrupt").exists()
+        assert any("already quarantined" in rec.message for rec in caplog.records)
+
+    @pytest.mark.skipif(
+        __import__("os").geteuid() == 0,
+        reason="root bypasses directory write permissions",
+    )
+    def test_read_only_cache_dir_still_re_records(self, tmp_path):
+        import os as _os
+
+        path = entry_path(tmp_path)
+        path.write_bytes(b"garbage")
+        entry_dir = path.parent
+        entry_dir.chmod(0o555)  # rename blocked; the entry file stays writable
+        try:
+            fresh = ScheduleCache(tmp_path)
+            result = replay_scenario(scenario(), cache=fresh)
+            assert fresh.corrupt_entries == 1
+            assert result.replayed is not None
+            assert not path.with_name(path.name + ".corrupt").exists()
+        finally:
+            entry_dir.chmod(0o755)

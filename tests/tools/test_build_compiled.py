@@ -1,0 +1,106 @@
+"""``tools/build_compiled.py``: build orchestration and the import probe."""
+
+import importlib.util
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent.parent
+
+
+@pytest.fixture()
+def build_tool():
+    """Import tools/build_compiled.py as a throwaway module."""
+    spec = importlib.util.spec_from_file_location(
+        "build_compiled_under_test", REPO_ROOT / "tools" / "build_compiled.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class _Result:
+    def __init__(self, returncode):
+        self.returncode = returncode
+
+
+class TestBuildCompiled:
+    def test_build_and_probe_success(self, build_tool, monkeypatch):
+        calls = []
+
+        def fake_run(cmd, **kwargs):
+            calls.append((list(cmd), kwargs))
+            return _Result(0)
+
+        monkeypatch.setattr(build_tool.subprocess, "run", fake_run)
+        assert build_tool.main() == 0
+        assert len(calls) == 2
+        build_cmd, build_kwargs = calls[0]
+        assert build_cmd[1:] == ["setup.py", "build_ext", "--inplace"]
+        assert build_kwargs["cwd"] == build_tool.REPO_ROOT
+        probe_cmd, probe_kwargs = calls[1]
+        assert "kernel_build_info" in probe_cmd[2]
+        # The probe must see src/ first so it imports the in-tree package.
+        pythonpath = probe_kwargs["env"]["PYTHONPATH"]
+        assert pythonpath.split(os.pathsep)[0] == os.path.join(
+            build_tool.REPO_ROOT, "src"
+        )
+
+    def test_build_failure_exits_1_without_probing(
+        self, build_tool, monkeypatch, capsys
+    ):
+        calls = []
+
+        def fake_run(cmd, **kwargs):
+            calls.append(cmd)
+            return _Result(1)
+
+        monkeypatch.setattr(build_tool.subprocess, "run", fake_run)
+        assert build_tool.main() == 1
+        assert len(calls) == 1  # the import probe never ran
+        err = capsys.readouterr().err
+        assert "build_ext failed" in err
+        assert "decline" in err
+
+    def test_probe_failure_propagates_its_exit_code(self, build_tool, monkeypatch):
+        results = iter([_Result(0), _Result(3)])
+
+        def fake_run(cmd, **kwargs):
+            return next(results)
+
+        monkeypatch.setattr(build_tool.subprocess, "run", fake_run)
+        assert build_tool.main() == 3
+
+    @pytest.mark.skipif(
+        not (REPO_ROOT / "src" / "repro" / "sim").exists(),
+        reason="source tree layout changed",
+    )
+    def test_real_probe_succeeds_when_kernel_is_built(self, build_tool):
+        # Only meaningful where the extension has actually been built.
+        import glob
+
+        built = glob.glob(
+            str(REPO_ROOT / "src" / "repro" / "sim" / "_kernel*.so")
+        )
+        if not built:
+            pytest.skip("compiled kernel not built in this environment")
+        import subprocess
+
+        probe = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.sim.compiled import kernel_build_info; "
+                "kernel_build_info()",
+            ],
+            env={
+                **os.environ,
+                "PYTHONPATH": str(REPO_ROOT / "src")
+                + os.pathsep
+                + os.environ.get("PYTHONPATH", ""),
+            },
+            capture_output=True,
+        )
+        assert probe.returncode == 0, probe.stderr.decode()

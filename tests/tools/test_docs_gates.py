@@ -35,9 +35,9 @@ class TestDocsLinkGate:
 
     def test_docs_directory_is_covered(self):
         result = run_tool("check_docs.py")
-        # README + architecture + backends + cli + experiments
+        # README + architecture + backends + cli + diff + experiments
         # + slack-policies + faults.
-        assert "7 file(s)" in result.stdout
+        assert "8 file(s)" in result.stdout
 
     def test_broken_relative_link_fails(self, tmp_path):
         offender = tmp_path / "bad.md"
@@ -67,6 +67,7 @@ class TestDocstringGate:
         result = run_tool("check_docstrings.py")
         assert "repro.traffic" in result.stdout
         assert "repro.experiments" in result.stdout
+        assert "repro.diff" in result.stdout
 
     def test_missing_docstring_fails(self, tmp_path):
         package = tmp_path / "fakepkg"

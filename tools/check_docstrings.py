@@ -3,7 +3,8 @@
 
 Walks every module in the packages named on the command line (default:
 ``repro.core``, ``repro.pipeline``, ``repro.schedulers``, ``repro.traffic``,
-``repro.experiments``, ``repro.faults``) and fails if any *public* module,
+``repro.experiments``, ``repro.faults``, ``repro.diff``) and fails if any
+*public* module,
 class, function, or method defined there lacks a docstring.
 "Public" means the dotted path contains no ``_``-prefixed component;
 inherited members and re-exports defined elsewhere are skipped, so each
@@ -30,6 +31,7 @@ DEFAULT_PACKAGES = (
     "repro.traffic",
     "repro.experiments",
     "repro.faults",
+    "repro.diff",
 )
 
 
