@@ -205,6 +205,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             fault_seed=args.fault_seed,
             cell_timeout=args.cell_timeout,
             max_retries=args.max_retries,
+            shard_packets=args.shard_packets,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -576,6 +577,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             scale=scale_name,
             repeat=args.repeat,
             backend=args.backend,
+            replay_path=not args.no_replay_path,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -877,6 +879,16 @@ def build_parser() -> argparse.ArgumentParser:
         "backoff; parallel rounds use a fresh worker pool, so crashed "
         "workers are recovered (default: 0)",
     )
+    run_parser.add_argument(
+        "--shard-packets",
+        type=int,
+        default=None,
+        help="schedule-cache shard size in packets: entries above this are "
+        "persisted as manifest+shard files, and shard-capable experiments "
+        "(e.g. scale) partition their streaming cells by it (default: "
+        "100000; storage layout only, cache keys and rows do not depend "
+        "on it)",
+    )
     scale_group.add_argument(
         "--quick", action="store_true", help="shorthand for --scale quick"
     )
@@ -992,6 +1004,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="allowed fractional wall-time slowdown for --check (default: 0.25)",
+    )
+    bench_parser.add_argument(
+        "--no-replay-path",
+        action="store_true",
+        help="skip the replay-only table1:replay@<backend> groups (bench "
+        "just the named experiments, e.g. the scale-tier RSS smoke)",
     )
     _add_backend_argument(bench_parser)
     bench_parser.add_argument("--label", default=None, help="free-form label for this run")

@@ -5,15 +5,30 @@ packets that are *overdue* (exit later than in the original schedule) and the
 fraction overdue by more than a threshold ``T`` (one transmission time on the
 bottleneck link) — plus the CDF of per-packet queueing-delay ratios shown in
 Figure 1.  This module computes all three from a pair of schedules.
+
+Two implementation paths coexist:
+
+* the **reference** path (:func:`compare_schedules`,
+  :func:`schedule_statistics`) materializes per-packet lists and computes
+  exact percentiles — what every existing experiment row and golden fixture
+  pins, bit for bit;
+* the **streaming** path (:class:`StreamingScheduleStatistics`,
+  :class:`StreamingReplayComparison`) folds records one at a time into
+  mergeable accumulators — exact count/sum/max fields, sketch-based
+  percentiles within the documented ε (see
+  :class:`repro.utils.stats.QuantileSketch` and docs/scale.md) — so a
+  scale-tier cell never holds a full per-packet delay or ratio list, and
+  per-shard partials merge deterministically in shard-index order.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
-from repro.core.schedule import Schedule
+from repro.core.schedule import PacketRecord, Schedule
+from repro.utils.stats import QuantileSketch
 
 
 @dataclass
@@ -285,3 +300,288 @@ def lateness_distribution(
         if replayed is not None:
             lateness.append(replayed.output_time - record.output_time)
     return lateness
+
+
+# ---------------------------------------------------------------------- #
+# Streaming / mergeable metrics (the scale tier's path)
+# ---------------------------------------------------------------------- #
+class StreamingScheduleStatistics:
+    """Mergeable streaming accumulator behind :func:`schedule_statistics`.
+
+    Folds records one at a time — O(1) state for count/sum/max, a
+    :class:`~repro.utils.stats.QuantileSketch` for the delay percentile, and
+    an O(#deadline-flows) dict for deadline accounting — so a cell
+    summarizing a million-packet schedule never materializes the per-packet
+    delay list the reference path builds.
+
+    **Equivalence contract** (asserted by the golden equivalence tests):
+    fed the same records in the same order as the reference path,
+    :meth:`finalize` reproduces :func:`schedule_statistics` *bit-identically*
+    for ``packets`` / ``mean_delay`` / ``max_delay`` / ``deadline_total`` /
+    ``deadline_met`` (the mean is a plain left-fold running sum, the same
+    arithmetic as ``sum(list) / len``), and within the sketch's documented
+    relative error ε for ``p99_delay``.
+
+    **Merge contract**: partial accumulators over disjoint record chunks
+    merge into one.  Integer counts and the sketch's bins merge exactly
+    (commutative); float sums are folded ``self then other``, so merging
+    shard partials **in shard-index order** yields the same bits on every
+    run, serial or parallel — the shard runner's determinism rule.
+    """
+
+    def __init__(self, alpha: float = QuantileSketch.DEFAULT_ALPHA) -> None:
+        self.delays = QuantileSketch(alpha)
+        # flow id -> [deadline, last output time]; same per-flow aggregation
+        # as schedule_statistics.
+        self._deadline_flows: Dict[int, List[float]] = {}
+
+    @property
+    def packets(self) -> int:
+        """Records folded in so far."""
+        return self.delays.count
+
+    def add(self, record: PacketRecord) -> None:
+        """Fold one packet record into the accumulator."""
+        self.delays.add(record.network_delay)
+        if record.deadline is not None:
+            entry = self._deadline_flows.setdefault(
+                record.flow_id, [record.deadline, -math.inf]
+            )
+            entry[1] = max(entry[1], record.output_time)
+
+    def extend(self, records: Iterable[PacketRecord]) -> None:
+        """Fold many records (e.g. one shard's cursor) into the accumulator."""
+        for record in records:
+            self.add(record)
+
+    def merge(self, other: "StreamingScheduleStatistics") -> "StreamingScheduleStatistics":
+        """A new accumulator equivalent to seeing both record streams.
+
+        Fold order is ``self`` then ``other``: callers merging shard
+        partials must do so in shard-index order for bit-stable sums.
+        """
+        merged = StreamingScheduleStatistics(alpha=self.delays.alpha)
+        merged.delays = self.delays.merge(other.delays)
+        merged._deadline_flows = {
+            flow_id: list(entry) for flow_id, entry in self._deadline_flows.items()
+        }
+        for flow_id, entry in other._deadline_flows.items():
+            mine = merged._deadline_flows.setdefault(flow_id, [entry[0], -math.inf])
+            mine[1] = max(mine[1], entry[1])
+        return merged
+
+    def finalize(self, tolerance: float = 1e-9) -> ScheduleStatistics:
+        """The accumulated :class:`ScheduleStatistics`.
+
+        ``p99_delay`` comes from the sketch (within ε of the exact
+        percentile); every other field is exact.
+        """
+        stats = ScheduleStatistics(packets=self.packets)
+        if self.packets:
+            stats.mean_delay = self.delays.mean
+            stats.p99_delay = self.delays.quantile(99)
+            stats.max_delay = self.delays.maximum
+        for deadline, last_output in self._deadline_flows.values():
+            stats.deadline_total += 1
+            if last_output <= deadline + tolerance:
+                stats.deadline_met += 1
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Serialization (shard partials cross process boundaries as dicts)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-serializable form (lossless)."""
+        return {
+            "delays": self.delays.to_dict(),
+            "deadline_flows": {
+                str(flow_id): list(entry)
+                for flow_id, entry in sorted(self._deadline_flows.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamingScheduleStatistics":
+        """Inverse of :meth:`to_dict`."""
+        stats = cls()
+        stats.delays = QuantileSketch.from_dict(data["delays"])
+        stats._deadline_flows = {
+            int(flow_id): list(entry)
+            for flow_id, entry in data["deadline_flows"].items()
+        }
+        return stats
+
+
+def streaming_schedule_statistics(
+    records: Iterable[PacketRecord],
+    tolerance: float = 1e-9,
+    alpha: float = QuantileSketch.DEFAULT_ALPHA,
+) -> ScheduleStatistics:
+    """:func:`schedule_statistics` over a record *iterator*, streamed.
+
+    Accepts any record source — ``schedule.records()``, a shard cursor
+    (:func:`repro.core.schedule.iter_schedule_records`) — and holds O(sketch)
+    memory instead of a per-packet delay list.  Same equivalence contract as
+    :class:`StreamingScheduleStatistics`.
+    """
+    accumulator = StreamingScheduleStatistics(alpha=alpha)
+    accumulator.extend(records)
+    return accumulator.finalize(tolerance=tolerance)
+
+
+class StreamingReplayComparison:
+    """Mergeable streaming accumulator behind :func:`compare_schedules`.
+
+    Walks original records one at a time against a replay schedule, keeping
+    the Figure-1 queueing-delay ratios in a
+    :class:`~repro.utils.stats.QuantileSketch` instead of the per-packet
+    list :attr:`ReplayMetrics.queueing_delay_ratios` materializes — the last
+    unbounded per-packet list on the replay evaluation path.
+
+    **Equivalence contract** (asserted by the golden equivalence tests): fed
+    the original records in the same order as :func:`compare_schedules`,
+    :meth:`finalize` reproduces every count field
+    (``total_packets`` / ``missing_packets`` / ``overdue_count`` /
+    ``overdue_beyond_threshold_count`` / all deadline counters) exactly,
+    ``mean_lateness`` / ``max_lateness`` bit-identically (same left-fold
+    arithmetic), and summarizes the ratio distribution exactly for
+    count/sum/min/max with sketch-ε percentiles.  The finalized
+    :class:`ReplayMetrics` carries an **empty** ``queueing_delay_ratios``
+    list — by design, that list is what this path exists to avoid.
+
+    **Merge contract**: partials over disjoint original-record chunks merge
+    with the same shard-index-order rule as
+    :class:`StreamingScheduleStatistics`.
+    """
+
+    def __init__(
+        self,
+        replay: Schedule,
+        threshold: float,
+        tolerance: float = 1e-9,
+        alpha: float = QuantileSketch.DEFAULT_ALPHA,
+    ) -> None:
+        self.replay = replay
+        self.threshold = threshold
+        self.tolerance = tolerance
+        self.total_packets = 0
+        self.missing_packets = 0
+        self.overdue_count = 0
+        self.overdue_beyond_threshold_count = 0
+        self.lateness_total = 0.0
+        self.max_lateness = 0.0
+        self.ratios = QuantileSketch(alpha)
+        # flow id -> [deadline, last original output, last replay output,
+        # any-packet-missing flag]; same aggregation as compare_schedules.
+        self._deadline_flows: Dict[int, List[float]] = {}
+
+    def add(self, record: PacketRecord) -> None:
+        """Fold one *original* record, matching it against the replay."""
+        self.total_packets += 1
+        replayed = self.replay.get(record.packet_id)
+        if record.deadline is not None:
+            entry = self._deadline_flows.setdefault(
+                record.flow_id, [record.deadline, -math.inf, -math.inf, False]
+            )
+            entry[1] = max(entry[1], record.output_time)
+            if replayed is None:
+                entry[3] = True
+            else:
+                entry[2] = max(entry[2], replayed.output_time)
+        if replayed is None:
+            self.missing_packets += 1
+            self.overdue_count += 1
+            self.overdue_beyond_threshold_count += 1
+            return
+        lateness = replayed.output_time - record.output_time
+        if lateness > self.tolerance:
+            self.overdue_count += 1
+            if lateness > self.threshold:
+                self.overdue_beyond_threshold_count += 1
+            self.lateness_total += lateness
+            self.max_lateness = max(self.max_lateness, lateness)
+        original_queueing = record.total_queueing_delay
+        if original_queueing > 0:
+            self.ratios.add(replayed.total_queueing_delay / original_queueing)
+
+    def extend(self, records: Iterable[PacketRecord]) -> None:
+        """Fold many original records (e.g. one shard's cursor)."""
+        for record in records:
+            self.add(record)
+
+    def merge(self, other: "StreamingReplayComparison") -> "StreamingReplayComparison":
+        """A new accumulator equivalent to seeing both original-record streams.
+
+        Fold order is ``self`` then ``other`` (shard-index order for
+        bit-stable float sums); both sides must compare against the same
+        replay under the same threshold/tolerance.
+        """
+        if (other.threshold, other.tolerance) != (self.threshold, self.tolerance):
+            raise ValueError(
+                "cannot merge replay comparisons with different "
+                f"threshold/tolerance ({self.threshold}/{self.tolerance} != "
+                f"{other.threshold}/{other.tolerance})"
+            )
+        merged = StreamingReplayComparison(
+            self.replay, self.threshold, self.tolerance, alpha=self.ratios.alpha
+        )
+        merged.total_packets = self.total_packets + other.total_packets
+        merged.missing_packets = self.missing_packets + other.missing_packets
+        merged.overdue_count = self.overdue_count + other.overdue_count
+        merged.overdue_beyond_threshold_count = (
+            self.overdue_beyond_threshold_count + other.overdue_beyond_threshold_count
+        )
+        merged.lateness_total = self.lateness_total + other.lateness_total
+        merged.max_lateness = max(self.max_lateness, other.max_lateness)
+        merged.ratios = self.ratios.merge(other.ratios)
+        merged._deadline_flows = {
+            flow_id: list(entry) for flow_id, entry in self._deadline_flows.items()
+        }
+        for flow_id, entry in other._deadline_flows.items():
+            mine = merged._deadline_flows.setdefault(
+                flow_id, [entry[0], -math.inf, -math.inf, False]
+            )
+            mine[1] = max(mine[1], entry[1])
+            mine[2] = max(mine[2], entry[2])
+            mine[3] = bool(mine[3]) or bool(entry[3])
+        return merged
+
+    def finalize(self) -> ReplayMetrics:
+        """The accumulated :class:`ReplayMetrics` (empty ratio list by design)."""
+        metrics = ReplayMetrics(
+            total_packets=self.total_packets,
+            missing_packets=self.missing_packets,
+            overdue_count=self.overdue_count,
+            overdue_beyond_threshold_count=self.overdue_beyond_threshold_count,
+            threshold=self.threshold,
+            max_lateness=self.max_lateness,
+        )
+        for deadline, original_last, replay_last, missing in self._deadline_flows.values():
+            metrics.deadline_total += 1
+            if original_last <= deadline + self.tolerance:
+                metrics.deadline_met_original += 1
+            if not missing:
+                metrics.deadline_flows_delivered += 1
+                if replay_last <= deadline + self.tolerance:
+                    metrics.deadline_met_replay += 1
+        if metrics.total_packets:
+            metrics.mean_lateness = self.lateness_total / metrics.total_packets
+        return metrics
+
+
+def compare_schedules_streaming(
+    original_records: Iterable[PacketRecord],
+    replay: Schedule,
+    threshold: float,
+    tolerance: float = 1e-9,
+) -> ReplayMetrics:
+    """:func:`compare_schedules` over an original-record *iterator*, streamed.
+
+    Same equivalence contract as :class:`StreamingReplayComparison`; the
+    returned metrics carry no per-packet ratio list (the ratio summary lives
+    in the comparison object — construct one directly when the sketch is
+    needed).
+    """
+    comparison = StreamingReplayComparison(replay, threshold, tolerance=tolerance)
+    comparison.extend(original_records)
+    return comparison.finalize()

@@ -20,6 +20,17 @@ header carrying free-form metadata (the pipeline stores the topology spec and
 the cache key there) followed by one line per :class:`PacketRecord`.  The
 round-trip is lossless: floats are serialized with full ``repr`` precision,
 so a loaded schedule replays bit-identically to the in-memory original.
+
+Large schedules may instead be **sharded** (``repro-schedule-manifest/1``):
+a single-line JSON manifest (``<key>.manifest.json``) naming ingress-time
+chunks stored as ordinary ``repro-schedule/1`` files
+(``<key>.shard-<i>.jsonl.gz``), each covering a contiguous slice of the
+canonical ``(ingress_time, packet_id)`` order.  Sharding is pure storage
+layout: it never enters cache keys, and :func:`load_schedule` returns the
+same schedule either way.  :func:`iter_schedule_records` cursors through
+either form one record at a time, so scale-tier consumers (the streaming
+injector, the flat-array kernels, the streaming metrics) never hold a whole
+schedule in memory.
 """
 
 from __future__ import annotations
@@ -37,6 +48,12 @@ from repro.sim.tracer import Tracer
 
 #: Format tag written into the header line of serialized schedules.
 SCHEDULE_FORMAT = "repro-schedule/1"
+
+#: Format tag of the shard manifest for sharded schedules.
+MANIFEST_FORMAT = "repro-schedule-manifest/1"
+
+#: Filename suffix that marks a shard manifest.
+MANIFEST_SUFFIX = ".manifest.json"
 
 
 @dataclass(slots=True)
@@ -374,6 +391,33 @@ def _open_for_read(path: str) -> io.TextIOBase:
     return open(path, "r", encoding="utf-8")
 
 
+def _atomic_write_lines(path: str, lines: Iterable[str]) -> None:
+    """Write text lines to ``path`` atomically (temp file + ``os.replace``)."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with _open_for_write(tmp_path, compressed=path.endswith(".gz")) as stream:
+            for line in lines:
+                stream.write(line)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def _schedule_lines(records: Sequence[PacketRecord], meta: Optional[dict]) -> Iterator[str]:
+    header = {
+        "format": SCHEDULE_FORMAT,
+        "packets": len(records),
+        "meta": meta or {},
+    }
+    yield json.dumps(header) + "\n"
+    for record in records:
+        yield json.dumps(record.to_dict()) + "\n"
+
+
 def save_schedule(
     path: Union[str, "os.PathLike"],
     schedule: Schedule,
@@ -386,34 +430,195 @@ def save_schedule(
     file behind.
     """
     path = os.fspath(path)
+    _atomic_write_lines(path, _schedule_lines(schedule.records(), meta))
+
+
+def shard_file_name(manifest_path: Union[str, "os.PathLike"], index: int) -> str:
+    """Filename (no directory) of shard ``index`` of a sharded schedule.
+
+    The manifest ``<key>.manifest.json`` owns shards
+    ``<key>.shard-<i>.jsonl.gz`` in the same directory — the naming is a
+    pure function of the manifest path, so callers never guess.
+    """
+    base = os.path.basename(os.fspath(manifest_path))
+    if not base.endswith(MANIFEST_SUFFIX):
+        raise ValueError(f"{manifest_path}: manifest paths must end in {MANIFEST_SUFFIX}")
+    return f"{base[: -len(MANIFEST_SUFFIX)]}.shard-{index}.jsonl.gz"
+
+
+def save_schedule_sharded(
+    path: Union[str, "os.PathLike"],
+    schedule: Schedule,
+    meta: Optional[dict] = None,
+    shard_packets: int = 100_000,
+) -> List[str]:
+    """Serialize ``schedule`` as ingress-time shards plus a manifest.
+
+    ``path`` must end in :data:`MANIFEST_SUFFIX`; shards land next to it as
+    ``<key>.shard-<i>.jsonl.gz``, each a self-contained ``repro-schedule/1``
+    file covering ``shard_packets`` consecutive records of the canonical
+    ``(ingress_time, packet_id)`` order (so shard boundaries are ingress-time
+    chunks and concatenating shards in manifest order reproduces the
+    canonical stream exactly).  Every shard is written — atomically — before
+    the manifest is, so a crash can never leave a manifest naming a missing
+    shard; a dangling shard without a manifest is invisible garbage.
+
+    Returns the shard file names (no directory), in order.
+    """
+    path = os.fspath(path)
+    if shard_packets < 1:
+        raise ValueError(f"shard_packets must be >= 1, got {shard_packets}")
+    records = schedule.records()
     directory = os.path.dirname(path) or "."
-    os.makedirs(directory, exist_ok=True)
-    header = {
-        "format": SCHEDULE_FORMAT,
-        "packets": len(schedule),
+    shards: List[dict] = []
+    for index, start in enumerate(range(0, len(records), shard_packets)):
+        chunk = records[start : start + shard_packets]
+        name = shard_file_name(path, index)
+        _atomic_write_lines(
+            os.path.join(directory, name),
+            _schedule_lines(chunk, {"shard_index": index}),
+        )
+        shards.append(
+            {
+                "file": name,
+                "packets": len(chunk),
+                "ingress_min": chunk[0].ingress_time,
+                "ingress_max": chunk[-1].ingress_time,
+            }
+        )
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "packets": len(records),
         "meta": meta or {},
+        "shards": shards,
     }
-    tmp_path = f"{path}.tmp.{os.getpid()}"
-    try:
-        with _open_for_write(tmp_path, compressed=path.endswith(".gz")) as stream:
-            stream.write(json.dumps(header) + "\n")
-            for record in schedule.records():
-                stream.write(json.dumps(record.to_dict()) + "\n")
-        os.replace(tmp_path, path)
-    except BaseException:
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
-        raise
+    _atomic_write_lines(path, [json.dumps(manifest) + "\n"])
+    return [shard["file"] for shard in shards]
+
+
+def load_manifest(path: Union[str, "os.PathLike"]) -> dict:
+    """Load and validate a shard manifest written by :func:`save_schedule_sharded`."""
+    path = os.fspath(path)
+    with _open_for_read(path) as stream:
+        line = stream.readline()
+    if not line.strip():
+        raise ValueError(f"{path}: empty manifest file")
+    manifest = json.loads(line)
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise ValueError(
+            f"{path}: not a {MANIFEST_FORMAT} file (format={manifest.get('format')!r})"
+        )
+    shards = manifest["shards"]
+    total = sum(shard["packets"] for shard in shards)
+    if total != manifest["packets"]:
+        raise ValueError(
+            f"{path}: manifest promises {manifest['packets']} packets but its "
+            f"shards sum to {total}"
+        )
+    return manifest
+
+
+def _iter_single_file_records(path: str) -> Iterator[PacketRecord]:
+    """Yield the records of one ``repro-schedule/1`` file, validating the count."""
+    with _open_for_read(path) as stream:
+        header_line = stream.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty schedule file")
+        header = json.loads(header_line)
+        if header.get("format") != SCHEDULE_FORMAT:
+            raise ValueError(
+                f"{path}: not a {SCHEDULE_FORMAT} file (format={header.get('format')!r})"
+            )
+        count = 0
+        for line in stream:
+            if line.strip():
+                count += 1
+                yield PacketRecord.from_dict(json.loads(line))
+    if count != header.get("packets", count):
+        raise ValueError(
+            f"{path}: header promises {header.get('packets')} packets, "
+            f"found {count} (truncated file?)"
+        )
+
+
+def stored_schedule_packets(path: Union[str, "os.PathLike"]) -> int:
+    """Packet count of a stored schedule, read from its header/manifest only.
+
+    Costs one line of I/O regardless of schedule size — how shard planners
+    size their partitions without touching any record data.
+    """
+    path = os.fspath(path)
+    if path.endswith(MANIFEST_SUFFIX):
+        return load_manifest(path)["packets"]
+    with _open_for_read(path) as stream:
+        header_line = stream.readline()
+    if not header_line:
+        raise ValueError(f"{path}: empty schedule file")
+    header = json.loads(header_line)
+    if header.get("format") != SCHEDULE_FORMAT:
+        raise ValueError(
+            f"{path}: not a {SCHEDULE_FORMAT} file (format={header.get('format')!r})"
+        )
+    return int(header["packets"])
+
+
+def iter_schedule_records(path: Union[str, "os.PathLike"]) -> Iterator[PacketRecord]:
+    """Cursor through a stored schedule's records in canonical order.
+
+    Works on both on-disk forms — a single ``repro-schedule/1`` file or a
+    ``repro-schedule-manifest/1`` manifest (shards are visited in manifest
+    order, which *is* canonical ``(ingress_time, packet_id)`` order) — and
+    holds one record at a time, never the whole schedule.  This is the
+    scale tier's read path: the streaming metrics and per-shard replay
+    cursors consume it directly.
+
+    Raises the same errors as :func:`load_schedule` on malformed input:
+    ``ValueError`` for truncated or foreign files, ``OSError`` (e.g.
+    ``FileNotFoundError``) for a shard the manifest names but the directory
+    lacks.
+    """
+    path = os.fspath(path)
+    if path.endswith(MANIFEST_SUFFIX):
+        manifest = load_manifest(path)
+        directory = os.path.dirname(path) or "."
+        for shard in manifest["shards"]:
+            shard_path = os.path.join(directory, shard["file"])
+            count = 0
+            for record in _iter_single_file_records(shard_path):
+                count += 1
+                yield record
+            if count != shard["packets"]:
+                raise ValueError(
+                    f"{shard_path}: manifest promises {shard['packets']} packets, "
+                    f"found {count} (truncated shard?)"
+                )
+    else:
+        yield from _iter_single_file_records(path)
 
 
 def load_schedule(path: Union[str, "os.PathLike"]) -> Tuple[Schedule, dict]:
-    """Load a schedule written by :func:`save_schedule`.
+    """Load a schedule written by :func:`save_schedule` or :func:`save_schedule_sharded`.
+
+    Manifest paths (ending in :data:`MANIFEST_SUFFIX`) load every shard and
+    return a schedule identical to the single-file form — shard layout is
+    storage, not content.
 
     Returns:
         ``(schedule, meta)`` where ``meta`` is the free-form metadata stored
-        in the file's header line.
+        in the file's header line (the manifest's, for sharded schedules).
     """
     path = os.fspath(path)
+    if path.endswith(MANIFEST_SUFFIX):
+        manifest = load_manifest(path)
+        schedule = Schedule()
+        for record in iter_schedule_records(path):
+            schedule.add(record)
+        if len(schedule) != manifest["packets"]:
+            raise ValueError(
+                f"{path}: manifest promises {manifest['packets']} packets, "
+                f"found {len(schedule)} (truncated shards?)"
+            )
+        return schedule, manifest.get("meta", {})
     with _open_for_read(path) as stream:
         header_line = stream.readline()
         if not header_line:

@@ -29,6 +29,7 @@ from repro.experiments.runner import (
     run_all,
     run_all_summary,
 )
+from repro.experiments.scale import run_scale, scale_scenarios
 from repro.experiments.table1 import (
     ReplayScenario,
     default_scenario,
@@ -65,6 +66,8 @@ __all__ = [
     "heuristics_scenarios",
     "run_faults",
     "fault_scenarios",
+    "run_scale",
+    "scale_scenarios",
     "EXPERIMENTS",
     "run_all",
     "run_all_summary",

@@ -25,6 +25,7 @@ from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.heuristics import run_heuristics
+from repro.experiments.scale import run_scale
 from repro.experiments.table1 import run_priority_comparison, run_table1
 from repro.pipeline.runner import RunSummary, run_pipeline
 
@@ -46,6 +47,7 @@ EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentScale]], ExperimentResult]] 
     "adversarial": run_adversarial,
     "heuristics": run_heuristics,
     "faults": run_faults,
+    "scale": run_scale,
 }
 
 

@@ -1,0 +1,317 @@
+"""The scale experiment group: full-topology cells on the streaming path.
+
+The paper's record-and-replay argument is only interesting if it survives
+scale — Rocketfuel-sized WANs and full fat-trees, not just the Internet2
+toy.  This group runs one scenario per large topology and evaluates it two
+ways:
+
+* ``stats`` cells stream the recorded schedule's quality metrics
+  (:class:`~repro.core.metrics.StreamingScheduleStatistics`) over the
+  cache's shard files, so a cell never materializes a per-packet list and
+  peak RSS stays bounded by one shard;
+* ``replay`` cells replay the schedule under the scenario's candidate UPS
+  and score it with the streaming comparator
+  (:class:`~repro.core.metrics.StreamingReplayComparison`), avoiding the
+  Figure-1 per-packet ratio list.
+
+``stats`` cells opt into the runner's shard protocol
+(:attr:`~repro.pipeline.experiment.ExperimentDef.supports_shards`): the
+shard partition is the canonical record order chunked by the cache's
+``shard_packets`` — a pure function of the cell and the cache
+configuration, never of worker count or storage layout — and partials merge
+in shard-index order, so sharded-serial, sharded-parallel, and the
+single-process fallback all emit bit-identical rows.  When the cache entry
+is persisted in sharded form and its chunking matches the partition (it
+always does when the entry was written by a cache with the same
+``shard_packets``), each shard task cursors its own
+``<key>.shard-<i>.jsonl.gz`` file directly; otherwise it slices the
+cache-loaded schedule.
+
+Rows contain only deterministic quantities.  Peak RSS and events/s — the
+scale tier's headline numbers — are measured by the benchmark harness and
+recorded in the ``repro-bench/1`` payload, never in rows (a row must be
+bit-identical across machines; an RSS sample is not).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.metrics import (
+    ReplayMetrics,
+    ScheduleStatistics,
+    StreamingReplayComparison,
+    StreamingScheduleStatistics,
+)
+from repro.core.replay import replay_schedule
+from repro.core.schedule import (
+    MANIFEST_SUFFIX,
+    Schedule,
+    iter_schedule_records,
+    load_manifest,
+    stored_schedule_packets,
+)
+from repro.experiments.config import ExperimentResult, ExperimentScale
+from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.experiment import (
+    Cell,
+    CellResult,
+    ExperimentDef,
+    record_scenario_schedule,
+    register_experiment,
+    scenario_cache_key,
+)
+from repro.pipeline.runner import run_experiment
+from repro.pipeline.scenario import Scenario, expand_replicates
+
+#: Topology builders exercised at scale (methods on ExperimentScale).
+SCALE_TOPOLOGIES: Tuple[str, ...] = ("rocketfuel", "fattree")
+
+#: Cell mode streaming the recorded schedule's own quality metrics.
+STATS_MODE = "stats"
+
+
+def scale_scenarios(scale: ExperimentScale) -> List[Scenario]:
+    """One scenario per large topology, at the preset's configured size."""
+    return [
+        Scenario(
+            name=f"SCALE-{topology}",
+            scale=scale,
+            topology=topology,
+            utilization=0.7,
+            original="random",
+            reference_gbps=1.0,
+            replay_mode="lstf",
+        )
+        for topology in SCALE_TOPOLOGIES
+    ]
+
+
+def stats_row(scenario: Scenario, stats: ScheduleStatistics) -> Dict[str, object]:
+    """One scenario's streamed schedule statistics as a result row."""
+    return {
+        "scenario": scenario.name,
+        "topology": scenario.topology,
+        "mode": STATS_MODE,
+        "packets": stats.packets,
+        "mean_delay": stats.mean_delay,
+        "p99_delay": stats.p99_delay,
+        "max_delay": stats.max_delay,
+        "deadline_flows": stats.deadline_total,
+        "deadline_met_fraction": (
+            stats.deadline_met_fraction if stats.deadline_total else None
+        ),
+    }
+
+
+def replay_row(
+    scenario: Scenario, mode: str, metrics: ReplayMetrics
+) -> Dict[str, object]:
+    """One scenario's streamed replay comparison as a result row."""
+    return {
+        "scenario": scenario.name,
+        "topology": scenario.topology,
+        "mode": mode,
+        "packets": metrics.total_packets,
+        "fraction_overdue": metrics.overdue_fraction,
+        "fraction_overdue_beyond_T": metrics.overdue_beyond_threshold_fraction,
+        "threshold": metrics.threshold,
+        "delivered_fraction": metrics.delivered_fraction,
+        "mean_lateness": metrics.mean_lateness,
+        "max_lateness": metrics.max_lateness,
+    }
+
+
+class ScaleDefinition(ExperimentDef):
+    """Large-topology cells evaluated entirely on the streaming path."""
+
+    name = "scale"
+    notes = (
+        "Scale tier: Rocketfuel/fat-tree scenarios with streaming mergeable "
+        "metrics over the sharded schedule cache; peak RSS and events/s are "
+        "recorded by the benchmark harness, not in rows."
+    )
+
+    supports_replicates = True
+    supports_shards = True
+
+    def __init__(
+        self,
+        scenarios: Optional[Tuple[Scenario, ...]] = None,
+        replicates: int = 1,
+    ) -> None:
+        self._scenarios = scenarios
+        self.replicates = replicates
+
+    def scenarios(self, scale: ExperimentScale) -> List[Scenario]:
+        """All scale scenarios in cell order, seed replicates applied."""
+        base = (
+            list(self._scenarios)
+            if self._scenarios is not None
+            else scale_scenarios(scale)
+        )
+        return expand_replicates(base, self.replicates)
+
+    def cells(self, scale: ExperimentScale) -> List[Cell]:
+        """Two cells per scenario: streamed stats, then the LSTF replay."""
+        cells: List[Cell] = []
+        for scenario in self.scenarios(scale):
+            cells.append(
+                Cell(self.name, scenario.name, STATS_MODE, scenario.seed, spec=scenario)
+            )
+            cells.append(
+                Cell(
+                    self.name,
+                    scenario.name,
+                    scenario.replay_mode,
+                    scenario.seed,
+                    spec=scenario,
+                )
+            )
+        return cells
+
+    # ------------------------------------------------------------------ #
+    # Whole-cell execution
+    # ------------------------------------------------------------------ #
+    def run_cell(
+        self, cell: Cell, scale: ExperimentScale, cache: ScheduleCache
+    ) -> CellResult:
+        scenario: Scenario = cell.spec
+        if cell.mode == STATS_MODE:
+            # Reference implementation of the shard partition: fold the
+            # canonical order chunk-by-chunk with the same ``shard_packets``
+            # chunking and shard-index-order merge the parallel path uses,
+            # so both paths emit the same bits (a single-pass fold would
+            # differ in the last bit of the float sums).
+            schedule = self._cached_schedule(scenario, cache)
+            records = schedule.records()
+            step = cache.shard_packets
+            partials = [
+                self._partial_over(records[start : start + step])
+                for start in range(0, len(records), step)
+            ] or [self._partial_over([])]
+            return self.merge_shards(cell, scale, partials)
+        return self._replay_cell(cell, scenario, cache)
+
+    def _replay_cell(
+        self, cell: Cell, scenario: Scenario, cache: ScheduleCache
+    ) -> CellResult:
+        """Replay the scenario and score it with the streaming comparator."""
+        topology = scenario.build_topology()
+        workload = scenario.workload()
+        schedule, _ = cache.get_or_record(
+            topology=topology,
+            original=scenario.original,
+            workload=workload,
+            seed=scenario.seed,
+            recorder=lambda: record_scenario_schedule(scenario, topology, workload),
+        )
+        replayed = replay_schedule(
+            topology, schedule, mode=cell.mode, backend=scenario.backend
+        )
+        threshold = topology.bottleneck_transmission_time(float(workload.mss))
+        comparison = StreamingReplayComparison(replayed, threshold=threshold)
+        comparison.extend(schedule.records())
+        return CellResult(
+            cell=cell, row=replay_row(scenario, cell.mode, comparison.finalize())
+        )
+
+    def _cached_schedule(self, scenario: Scenario, cache: ScheduleCache) -> Schedule:
+        """The scenario's recorded schedule, via the content-addressed cache."""
+        topology = scenario.build_topology()
+        workload = scenario.workload()
+        schedule, _ = cache.get_or_record(
+            topology=topology,
+            original=scenario.original,
+            workload=workload,
+            seed=scenario.seed,
+            recorder=lambda: record_scenario_schedule(scenario, topology, workload),
+        )
+        return schedule
+
+    @staticmethod
+    def _partial_over(records) -> dict:
+        partial = StreamingScheduleStatistics()
+        partial.extend(records)
+        return partial.to_dict()
+
+    # ------------------------------------------------------------------ #
+    # Shard protocol (stats cells only)
+    # ------------------------------------------------------------------ #
+    def cell_shards(
+        self, cell: Cell, scale: ExperimentScale, cache: ScheduleCache
+    ) -> List[Any]:
+        """Chunk the stats cell's canonical record order by ``shard_packets``.
+
+        Replay cells return ``[]`` (the replay simulation itself cannot be
+        split), as do stats cells that fit in a single chunk.  Each shard
+        spec carries the on-disk shard file when the persisted entry's
+        chunking matches the partition, so the worker can cursor the file
+        without loading the whole schedule.
+        """
+        if cell.mode != STATS_MODE:
+            return []
+        scenario: Scenario = cell.spec
+        key = scenario_cache_key(scenario)
+        entry = cache.entry_path(key)
+        if entry is None:
+            # Record (and persist) the schedule now, so shard workers can
+            # cursor the cache entry instead of re-recording per shard.
+            self._cached_schedule(scenario, cache)
+            entry = cache.entry_path(key)
+        count = (
+            stored_schedule_packets(str(entry))
+            if entry is not None
+            else len(self._cached_schedule(scenario, cache))
+        )
+        step = cache.shard_packets
+        bounds = [
+            (index, start, min(start + step, count))
+            for index, start in enumerate(range(0, count, step))
+        ]
+        if len(bounds) <= 1:
+            return []
+        files: Dict[int, str] = {}
+        if entry is not None and str(entry).endswith(MANIFEST_SUFFIX):
+            manifest = load_manifest(str(entry))
+            directory = os.path.dirname(str(entry))
+            start = 0
+            for index, shard in enumerate(manifest["shards"]):
+                stop = start + int(shard["packets"])
+                if index < len(bounds) and bounds[index][1:] == (start, stop):
+                    files[index] = os.path.join(directory, shard["file"])
+                start = stop
+        return [
+            {"index": index, "start": start, "stop": stop, "file": files.get(index)}
+            for index, start, stop in bounds
+        ]
+
+    def run_cell_shard(
+        self, cell: Cell, shard: Any, scale: ExperimentScale, cache: ScheduleCache
+    ) -> Any:
+        """Stream one shard's records into a statistics partial."""
+        partial = StreamingScheduleStatistics()
+        if shard["file"]:
+            partial.extend(iter_schedule_records(shard["file"]))
+        else:
+            schedule = self._cached_schedule(cell.spec, cache)
+            partial.extend(schedule.records()[shard["start"] : shard["stop"]])
+        return partial.to_dict()
+
+    def merge_shards(
+        self, cell: Cell, scale: ExperimentScale, partials: List[Any]
+    ) -> CellResult:
+        """Fold partials in shard-index order and finalize the row."""
+        merged = StreamingScheduleStatistics.from_dict(partials[0])
+        for partial in partials[1:]:
+            merged = merged.merge(StreamingScheduleStatistics.from_dict(partial))
+        return CellResult(cell=cell, row=stats_row(cell.spec, merged.finalize()))
+
+
+def run_scale(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    """Run the scale group (serially) and collect the rows."""
+    return run_experiment(ScaleDefinition(), scale)
+
+
+register_experiment(ScaleDefinition())

@@ -29,11 +29,23 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
 
-from repro.core.schedule import Schedule, load_schedule, save_schedule
+from repro.core.schedule import (
+    MANIFEST_SUFFIX,
+    Schedule,
+    load_schedule,
+    save_schedule,
+    save_schedule_sharded,
+)
 from repro.topology.base import Topology
 from repro.traffic.workload import WorkloadSpec
 
 logger = logging.getLogger(__name__)
+
+#: Schedules larger than this many packets are persisted sharded.  High
+#: enough that every quick/smoke-tier entry stays a single file (their
+#: layout, like their keys, is pinned by the golden fixtures), low enough
+#: that scale-tier schedules split into chunks a worker can stream.
+DEFAULT_SHARD_PACKETS = 100_000
 
 
 def distribution_fingerprint(distribution) -> dict:
@@ -142,6 +154,12 @@ class ScheduleCache:
             hop vector, so an unbounded memory layer would retain gigabytes
             across a full run; the default comfortably covers cells that
             share one schedule across replay modes.  ``None`` = unbounded.
+        shard_packets: Schedules larger than this are persisted as
+            ingress-time shards plus a manifest
+            (:func:`repro.core.schedule.save_schedule_sharded`), which is
+            also the per-shard chunk size.  Pure storage layout — cache
+            *keys* never depend on it (pinned by the golden-key test) and
+            lookups transparently accept either on-disk form.
 
     Attributes:
         hits: Number of ``get_or_record`` calls served from memory or disk.
@@ -153,9 +171,13 @@ class ScheduleCache:
         self,
         root: Optional[Union[str, os.PathLike]] = None,
         memory_entries: Optional[int] = 8,
+        shard_packets: int = DEFAULT_SHARD_PACKETS,
     ) -> None:
         self.root = Path(root) if root is not None else None
         self.memory_entries = memory_entries
+        if shard_packets < 1:
+            raise ValueError(f"shard_packets must be >= 1, got {shard_packets}")
+        self.shard_packets = shard_packets
         self._memory: "OrderedDict[str, Schedule]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -172,16 +194,34 @@ class ScheduleCache:
     # Key / path helpers
     # ------------------------------------------------------------------ #
     def path_for(self, key: str) -> Optional[Path]:
-        """On-disk location for ``key`` (``None`` for memory-only caches)."""
+        """Single-file on-disk location for ``key`` (``None`` for memory-only caches)."""
         if self.root is None:
             return None
         return self.root / key[:2] / f"{key}.jsonl.gz"
 
+    def manifest_path_for(self, key: str) -> Optional[Path]:
+        """Sharded-form manifest location for ``key`` (``None`` for memory-only caches)."""
+        if self.root is None:
+            return None
+        return self.root / key[:2] / f"{key}{MANIFEST_SUFFIX}"
+
+    def entry_path(self, key: str) -> Optional[Path]:
+        """The on-disk path ``key`` would load from, or ``None`` if absent.
+
+        The sharded form wins when both exist (it is only ever written for
+        schedules too large to sensibly live in one file); the returned path
+        feeds :func:`repro.core.schedule.load_schedule` or
+        :func:`~repro.core.schedule.iter_schedule_records` directly.
+        """
+        for candidate in (self.manifest_path_for(key), self.path_for(key)):
+            if candidate is not None and candidate.exists():
+                return candidate
+        return None
+
     def __contains__(self, key: str) -> bool:
         if key in self._memory:
             return True
-        path = self.path_for(key)
-        return path is not None and path.exists()
+        return self.entry_path(key) is not None
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -237,12 +277,12 @@ class ScheduleCache:
             self._memory.move_to_end(key)
             self.hits += 1
             return schedule, key
-        path = self.path_for(key)
-        if path is not None and path.exists():
+        stored = self.entry_path(key)
+        if stored is not None:
             try:
-                schedule, _ = load_schedule(path)
+                schedule, _ = load_schedule(stored)
             except (OSError, EOFError, ValueError, KeyError) as error:
-                self._quarantine(path, error)
+                self._quarantine(stored, error)
             else:
                 self._remember(key, schedule)
                 self.hits += 1
@@ -250,6 +290,7 @@ class ScheduleCache:
         schedule = recorder()
         self.misses += 1
         self._remember(key, schedule)
+        path = self.path_for(key)
         if path is not None:
             meta = {
                 "key": key,
@@ -265,7 +306,15 @@ class ScheduleCache:
             if faults is not None and faults.fingerprint() is not None:
                 meta["faults"] = faults.to_dict()
             try:
-                save_schedule(path, schedule, meta=meta)
+                if len(schedule) > self.shard_packets:
+                    save_schedule_sharded(
+                        self.manifest_path_for(key),
+                        schedule,
+                        meta=meta,
+                        shard_packets=self.shard_packets,
+                    )
+                else:
+                    save_schedule(path, schedule, meta=meta)
             except OSError as error:
                 # A read-only or full cache directory degrades the disk
                 # layer, it must not abort the run: the freshly recorded
@@ -312,10 +361,17 @@ class ScheduleCache:
         }
 
     def disk_entries(self) -> int:
-        """Number of schedule files currently in the on-disk layer."""
+        """Number of schedule *entries* currently in the on-disk layer.
+
+        A sharded entry counts once (its manifest), not once per shard file.
+        """
         if self.root is None or not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.jsonl.gz"))
+        single = sum(
+            1 for path in self.root.glob("*/*.jsonl.gz") if ".shard-" not in path.name
+        )
+        sharded = sum(1 for _ in self.root.glob(f"*/*{MANIFEST_SUFFIX}"))
+        return single + sharded
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         where = str(self.root) if self.root is not None else "memory"

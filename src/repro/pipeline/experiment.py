@@ -201,6 +201,48 @@ class ExperimentDef(ABC):
     ) -> CellResult:
         """Execute one cell.  May run inside a process-pool worker."""
 
+    # ------------------------------------------------------------------ #
+    # Shard protocol (scale-tier cells; opt-in via ``supports_shards``)
+    # ------------------------------------------------------------------ #
+    #: Whether this experiment's cells can be split into shard sub-tasks the
+    #: runner work-steals individually (:meth:`cell_shards` /
+    #: :meth:`run_cell_shard` / :meth:`merge_shards`).  The determinism
+    #: contract: the shard partition must be a pure function of the cell and
+    #: the cache's ``shard_packets`` (never of worker count or storage
+    #: layout), and partials must merge associatively in shard-index order,
+    #: so sharded serial, sharded parallel, and :meth:`run_cell` all emit
+    #: the same row.
+    supports_shards: bool = False
+
+    def cell_shards(
+        self, cell: Cell, scale: "ExperimentScale", cache: ScheduleCache
+    ) -> List[Any]:
+        """Picklable shard specs for ``cell``, in shard-index order.
+
+        An empty list means "run this cell whole via :meth:`run_cell`" —
+        the default for definitions that never shard, and the escape hatch
+        for modes of a sharding definition that cannot split.
+        """
+        return []
+
+    def run_cell_shard(
+        self, cell: Cell, shard: Any, scale: "ExperimentScale", cache: ScheduleCache
+    ) -> Any:
+        """Execute one shard of ``cell``; returns a picklable partial."""
+        raise NotImplementedError(
+            f"experiment {self.name} declares supports_shards but does not "
+            "implement run_cell_shard"
+        )
+
+    def merge_shards(
+        self, cell: Cell, scale: "ExperimentScale", partials: List[Any]
+    ) -> CellResult:
+        """Merge shard partials (given in shard-index order) into the cell row."""
+        raise NotImplementedError(
+            f"experiment {self.name} declares supports_shards but does not "
+            "implement merge_shards"
+        )
+
     def assemble(
         self, scale: "ExperimentScale", results: List[CellResult]
     ) -> "ExperimentResult":

@@ -25,6 +25,15 @@ Workers share the on-disk :class:`ScheduleCache` layer; within a process
 each worker also keeps the in-memory layer, so a warm cache run records
 nothing at all (``RunSummary.records_computed == 0``).
 
+Phase 2's unit of work-stealing is the *shard*, not just the cell, for
+experiments that opt in (``ExperimentDef.supports_shards`` — the scale
+tier): each shard of a shard-capable cell is its own pool task, so workers
+draining the shared task queue steal shards of a big cell instead of idling
+behind it, and the driver merges the partials in shard-index order.  The
+shard partition is a pure function of the cell and the cache's
+``shard_packets`` — never of worker count — so sharded parallel rows are
+bit-identical to serial ones.
+
 The runner is also hardened against *real* failure: cells run under an
 optional per-cell timeout, a cell that raises (or whose worker dies — a
 crashed process breaks the whole ``ProcessPoolExecutor``) is retried across
@@ -45,7 +54,7 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.pipeline.cache import ScheduleCache
+from repro.pipeline.cache import DEFAULT_SHARD_PACKETS, ScheduleCache
 from repro.pipeline.experiment import (
     Cell,
     CellResult,
@@ -204,14 +213,29 @@ def _execute_cell(
     scale: ExperimentScale,
     cache: ScheduleCache,
 ) -> CellResult:
-    """Run one cell with fresh global counters and per-cell cache accounting."""
+    """Run one cell with fresh global counters and per-cell cache accounting.
+
+    Shard-capable cells (``definition.supports_shards``) run shard by shard
+    — the same deterministic partition the parallel runner fans out — with
+    partials merged in shard-index order, so serial and work-stolen rows are
+    identical.
+    """
     from repro.sim.flow import reset_flow_ids
     from repro.sim.packet import reset_packet_ids
 
     reset_packet_ids()
     reset_flow_ids()
     hits_before, misses_before = cache.hits, cache.misses
-    result = definition.run_cell(cell, scale, cache)
+    shards: List = []
+    if definition.supports_shards:
+        shards = definition.cell_shards(cell, scale, cache)
+    if shards:
+        partials = [
+            definition.run_cell_shard(cell, shard, scale, cache) for shard in shards
+        ]
+        result = definition.merge_shards(cell, scale, partials)
+    else:
+        result = definition.run_cell(cell, scale, cache)
     result.cache_hits = cache.hits - hits_before
     result.cache_misses = cache.misses - misses_before
     return result
@@ -228,9 +252,10 @@ def _worker_init(
     cache_dir: Optional[str],
     backend: Optional[str] = None,
     cell_timeout: Optional[float] = None,
+    shard_packets: int = DEFAULT_SHARD_PACKETS,
 ) -> None:
     global _WORKER_CACHE, _WORKER_TIMEOUT
-    _WORKER_CACHE = ScheduleCache(cache_dir)
+    _WORKER_CACHE = ScheduleCache(cache_dir, shard_packets=shard_packets)
     _WORKER_TIMEOUT = cell_timeout
     if backend is not None:
         # Workers resolve the run's engine through the same process-default
@@ -258,6 +283,33 @@ def _worker_run(
             return index, _execute_cell(definition, cell, scale, _WORKER_CACHE)
     except Exception as error:
         return index, _CellFailure.capture(error)
+
+
+def _worker_run_shard(
+    payload: Tuple[int, int, ExperimentDef, Cell, "ExperimentScale", object]
+) -> Tuple[int, int, Union[object, _CellFailure]]:
+    """Phase-2 shard task: one shard of a shard-capable cell.
+
+    Returns ``(cell index, shard index, partial)`` — the partial is whatever
+    picklable value ``run_cell_shard`` produced (the driver merges them in
+    shard-index order) — or a captured :class:`_CellFailure`.
+    """
+    from repro.sim.flow import reset_flow_ids
+    from repro.sim.packet import reset_packet_ids
+
+    index, shard_index, definition, cell, scale, shard = payload
+    assert _WORKER_CACHE is not None
+    reset_packet_ids()
+    reset_flow_ids()
+    try:
+        with _cell_deadline(_WORKER_TIMEOUT):
+            return (
+                index,
+                shard_index,
+                definition.run_cell_shard(cell, shard, scale, _WORKER_CACHE),
+            )
+    except Exception as error:
+        return index, shard_index, _CellFailure.capture(error)
 
 
 def _worker_record(payload: Tuple[str, Scenario]) -> Tuple[str, Union[int, _CellFailure]]:
@@ -418,6 +470,7 @@ def run_pipeline(
     cell_timeout: Optional[float] = None,
     max_retries: int = 0,
     retry_backoff: float = 0.5,
+    shard_packets: Optional[int] = None,
 ) -> RunSummary:
     """Run experiments, optionally fanning their cells across processes.
 
@@ -458,6 +511,15 @@ def run_pipeline(
             is recovered from, not just in-cell exceptions.
         retry_backoff: Base of the exponential backoff between retry rounds
             (round *n* sleeps ``retry_backoff * 2**(n-1)`` seconds).
+        shard_packets: Shard size for every :class:`ScheduleCache` the run
+            constructs (driver, serial, and pool workers alike) — both the
+            persistence threshold/chunk for sharded cache entries and the
+            shard partition size for shard-capable experiments (``python -m
+            repro run ... --shard-packets N``).  Storage layout only: cache
+            keys and result rows do not depend on it (rows of sharded cells
+            are bit-identical across values by the shard determinism
+            contract, up to the documented float-fold bits which are pinned
+            per value).
 
     Returns:
         A :class:`RunSummary` with per-experiment results merged in cell
@@ -468,6 +530,9 @@ def run_pipeline(
     from repro.experiments.config import ExperimentScale
 
     start = time.perf_counter()
+    shard_packets = (
+        shard_packets if shard_packets is not None else DEFAULT_SHARD_PACKETS
+    )
     registry = registry or default_registry()
     scale = scale or ExperimentScale.quick()
     selected = list(names) if names is not None else registry.names()
@@ -534,7 +599,7 @@ def run_pipeline(
     with _backend_scope(backend):
         if workers <= 1 or len(tasks) <= 1:
             workers = 1
-            cache = ScheduleCache(cache_dir)
+            cache = ScheduleCache(cache_dir, shard_packets=shard_packets)
             for index, (definition, cell) in enumerate(tasks):
                 failure: Optional[_CellFailure] = None
                 attempts = 0
@@ -566,6 +631,7 @@ def run_pipeline(
                 retry_backoff=retry_backoff,
                 cell_results=cell_results,
                 notes=notes,
+                shard_packets=shard_packets,
             )
             errors.extend(parallel_errors)
             cache_hits = sum(r.cache_hits for r in cell_results if r is not None)
@@ -604,6 +670,7 @@ def _run_parallel(
     retry_backoff: float,
     cell_results: List[Optional[CellResult]],
     notes: List[str],
+    shard_packets: int = DEFAULT_SHARD_PACKETS,
 ) -> Tuple[int, List[CellError]]:
     """Fan cells out across pool workers, with crash recovery and retries.
 
@@ -624,7 +691,9 @@ def _run_parallel(
     # each worker records what it needs (the pre-two-phase behavior).
     pending_records: "OrderedDict[str, Scenario]" = OrderedDict()
     if cache_dir is not None:
-        pending_records = OrderedDict(_plan_records(tasks, ScheduleCache(cache_dir)))
+        pending_records = OrderedDict(
+            _plan_records(tasks, ScheduleCache(cache_dir, shard_packets=shard_packets))
+        )
     pending_cells: "OrderedDict[int, Tuple[ExperimentDef, Cell]]" = OrderedDict(
         (index, task) for index, task in enumerate(tasks)
     )
@@ -642,7 +711,7 @@ def _run_parallel(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(cache_dir, backend, cell_timeout),
+            initargs=(cache_dir, backend, cell_timeout, shard_packets),
         ) as pool:
             if pending_records:
                 record_futures = {
@@ -666,14 +735,59 @@ def _run_parallel(
                     pending_records.pop(key, None)
             if not pool_broken and pending_cells:
                 # Phase 2 (replay): every cell runs against the (best-effort)
-                # warm cache.  Futures are submitted for every pending cell;
-                # completed cells leave the pending map, failures keep their
-                # captured traceback for the final error report.
-                cell_futures = {
-                    pool.submit(_worker_run, (index, definition, cell, scale)): index
-                    for index, (definition, cell) in pending_cells.items()
-                }
-                for future in as_completed(cell_futures):
+                # warm cache.  Shard-capable cells are expanded into one pool
+                # task *per shard* — the pool's task queue is the
+                # work-stealing mechanism, so a worker finishing a small
+                # shard immediately picks up the next one regardless of
+                # which cell it belongs to — and their partials merge
+                # driver-side in shard-index order (the determinism rule:
+                # identical rows to a serial run).  Everything else runs
+                # whole, exactly as before; completed cells leave the
+                # pending map, failures keep their captured traceback.
+                driver_cache = (
+                    ScheduleCache(cache_dir, shard_packets=shard_packets)
+                    if cache_dir is not None
+                    else None
+                )
+                cell_futures = {}
+                shard_futures: Dict[object, Tuple[int, int]] = {}
+                shard_partials: Dict[int, List[Optional[object]]] = {}
+                for index, (definition, cell) in pending_cells.items():
+                    shards: List[object] = []
+                    if definition.supports_shards and driver_cache is not None:
+                        try:
+                            shards = definition.cell_shards(cell, scale, driver_cache)
+                        except Exception:
+                            shards = []  # fall back to whole-cell execution
+                    if len(shards) > 1:
+                        cell_attempts[index] = cell_attempts.get(index, 0) + 1
+                        shard_partials[index] = [None] * len(shards)
+                        for shard_index, shard in enumerate(shards):
+                            future = pool.submit(
+                                _worker_run_shard,
+                                (index, shard_index, definition, cell, scale, shard),
+                            )
+                            shard_futures[future] = (index, shard_index)
+                    else:
+                        cell_futures[
+                            pool.submit(_worker_run, (index, definition, cell, scale))
+                        ] = index
+                for future in as_completed(
+                    list(cell_futures) + list(shard_futures)
+                ):
+                    if future in shard_futures:
+                        index, shard_index = shard_futures[future]
+                        try:
+                            _, _, outcome = future.result()
+                        except Exception as error:
+                            pool_broken = True
+                            cell_failures[index] = _CellFailure.capture(error)
+                            continue
+                        if isinstance(outcome, _CellFailure):
+                            cell_failures[index] = outcome
+                            continue
+                        shard_partials[index][shard_index] = outcome
+                        continue
                     index = cell_futures[future]
                     cell_attempts[index] = cell_attempts.get(index, 0) + 1
                     try:
@@ -686,6 +800,23 @@ def _run_parallel(
                         cell_failures[index] = outcome
                         continue
                     cell_results[index] = outcome
+                    pending_cells.pop(index, None)
+                    cell_failures.pop(index, None)
+                # Merge every sharded cell whose shards all completed.  A
+                # cell with any failed shard stays pending (its failure is
+                # recorded) and re-runs whole next round — partials are
+                # cheap relative to the recording they read from cache.
+                for index, partials in shard_partials.items():
+                    if index in cell_failures or any(p is None for p in partials):
+                        continue
+                    definition, cell = pending_cells[index]
+                    try:
+                        cell_results[index] = definition.merge_shards(
+                            cell, scale, list(partials)
+                        )
+                    except Exception as error:
+                        cell_failures[index] = _CellFailure.capture(error)
+                        continue
                     pending_cells.pop(index, None)
                     cell_failures.pop(index, None)
 

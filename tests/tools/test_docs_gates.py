@@ -36,8 +36,8 @@ class TestDocsLinkGate:
     def test_docs_directory_is_covered(self):
         result = run_tool("check_docs.py")
         # README + architecture + backends + cli + diff + experiments
-        # + slack-policies + faults.
-        assert "8 file(s)" in result.stdout
+        # + slack-policies + faults + scale.
+        assert "9 file(s)" in result.stdout
 
     def test_broken_relative_link_fails(self, tmp_path):
         offender = tmp_path / "bad.md"

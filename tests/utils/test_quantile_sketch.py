@@ -1,0 +1,195 @@
+"""Property suite for the mergeable quantile sketch.
+
+Two contracts, both documented on :class:`repro.utils.stats.QuantileSketch`
+and relied on by the scale tier (docs/scale.md):
+
+* **merge order-insensitivity** — ``merge(a, b)``, ``merge(b, a)``, and a
+  single pass over the concatenated stream are *bit-identical* (per-bin
+  integer addition is exactly commutative/associative), so the shard
+  runner's partials merge to the same row no matter which worker computed
+  which shard;
+* **ε accuracy** — for quantile ``q`` of ``n`` samples with bracketing
+  order statistics ``x_lo <= x_hi`` around rank ``q/100 * (n-1)``, the
+  sketch returns ``v`` with ``x_lo*(1-α) <= v <= x_hi*(1+α)``.  The exact
+  :func:`repro.utils.stats.percentile` (linear interpolation) always lies
+  in ``[x_lo, x_hi]``, so the property is checked against that interval —
+  sound even on heavy-tail inputs where ``x_lo`` and ``x_hi`` are orders of
+  magnitude apart and a naive ``approx(percentile)`` assertion would be
+  wrong.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.stats import QuantileSketch, percentile
+
+#: Finite, non-degenerate floats spanning the heavy-tail range the delay
+#: distributions actually produce (microseconds to kiloseconds).
+_sample = st.floats(
+    min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+_samples = st.lists(_sample, min_size=1, max_size=200)
+
+
+def _bracketing_order_statistics(values, q):
+    """The order statistics bracketing numpy's rank ``q/100 * (n-1)``."""
+    ordered = sorted(values)
+    rank = q / 100.0 * (len(ordered) - 1)
+    lo = ordered[int(math.floor(rank))]
+    hi = ordered[int(math.ceil(rank))]
+    return lo, hi
+
+
+def _assert_within_epsilon(sketch: QuantileSketch, values, q):
+    lo, hi = _bracketing_order_statistics(values, q)
+    value = sketch.quantile(q)
+    alpha = sketch.alpha
+    assert lo * (1 - alpha) - 1e-300 <= value <= hi * (1 + alpha) + 1e-300, (
+        f"q={q}: sketch {value} outside [{lo * (1 - alpha)}, {hi * (1 + alpha)}] "
+        f"(order statistics [{lo}, {hi}], alpha={alpha})"
+    )
+    # The exact percentile lies in [lo, hi] too — the shared interval is
+    # what makes the two comparable on heavy-tail gaps.
+    assert lo <= percentile(values, q) <= hi
+
+
+class TestMergeOrderInsensitivity:
+    @given(a=_samples, b=_samples)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_commutes_and_equals_single_pass(self, a, b):
+        left, right, single = QuantileSketch(), QuantileSketch(), QuantileSketch()
+        left.extend(a)
+        right.extend(b)
+        single.extend(a + b)
+        ab = left.merge(right)
+        ba = right.merge(left)
+        # Bin counts are integers: identity is exact, not approximate.
+        assert ab.to_dict()["bins"] == ba.to_dict()["bins"] == single.to_dict()["bins"]
+        assert ab.count == ba.count == single.count == len(a) + len(b)
+        assert ab.minimum == ba.minimum == single.minimum == min(a + b)
+        assert ab.maximum == ba.maximum == single.maximum == max(a + b)
+        for q in (0, 50, 99, 100):
+            assert ab.quantile(q) == ba.quantile(q) == single.quantile(q)
+
+    @given(chunks=st.lists(_samples, min_size=2, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_associative_over_many_shards(self, chunks):
+        flat = [value for chunk in chunks for value in chunk]
+        single = QuantileSketch()
+        single.extend(flat)
+        left_fold = QuantileSketch()
+        for chunk in chunks:
+            partial = QuantileSketch()
+            partial.extend(chunk)
+            left_fold = left_fold.merge(partial)
+        right_fold = QuantileSketch()
+        for chunk in reversed(chunks):
+            partial = QuantileSketch()
+            partial.extend(chunk)
+            right_fold = partial.merge(right_fold)
+        assert (
+            left_fold.to_dict()["bins"]
+            == right_fold.to_dict()["bins"]
+            == single.to_dict()["bins"]
+        )
+        assert left_fold.quantile(99) == right_fold.quantile(99) == single.quantile(99)
+
+
+class TestEpsilonAccuracy:
+    @given(values=_samples)
+    @settings(max_examples=100, deadline=None)
+    def test_p50_p99_within_documented_epsilon(self, values):
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        for q in (50, 99):
+            _assert_within_epsilon(sketch, values, q)
+
+    @given(
+        values=st.lists(
+            st.sampled_from([1e-6, 1e-3, 1.0, 1e3, 1e6, 1e9]), min_size=2, max_size=50
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_heavy_tail_inputs(self, values):
+        """Adjacent order statistics orders of magnitude apart stay in bound."""
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        for q in (50, 99):
+            _assert_within_epsilon(sketch, values, q)
+
+    @given(value=_sample, n=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_constant_inputs_are_alpha_exact(self, value, n):
+        sketch = QuantileSketch()
+        sketch.extend([value] * n)
+        for q in (0, 50, 99, 100):
+            assert sketch.quantile(q) == pytest.approx(value, rel=sketch.alpha)
+        assert sketch.quantile(0) == value
+        assert sketch.quantile(100) == value
+
+    @given(values=st.lists(_sample, min_size=1, max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_tiny_n(self, values):
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        for q in (50, 99):
+            _assert_within_epsilon(sketch, values, q)
+        assert sketch.quantile(0) == min(values)
+        assert sketch.quantile(100) == max(values)
+
+
+class TestSketchBasics:
+    def test_empty_and_bad_q_mirror_percentile_edges(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError):
+            sketch.quantile(50)
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(101)
+        with pytest.raises(ValueError):
+            sketch.quantile(-1)
+
+    def test_zero_and_negative_samples(self):
+        sketch = QuantileSketch()
+        sketch.extend([-2.0, 0.0, 0.0, 3.0])
+        assert sketch.count == 4
+        assert sketch.minimum == -2.0
+        assert sketch.maximum == 3.0
+        assert sketch.quantile(50) == 0.0
+        assert sketch.quantile(0) == -2.0
+        # The most negative quantile lands in the negative bins.
+        assert sketch.quantile(1) == pytest.approx(-2.0, rel=sketch.alpha)
+
+    def test_exact_tracked_aggregates(self):
+        values = [0.5, 1.5, 2.5, 10.0]
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        assert sketch.total == sum(values)
+        assert sketch.mean == sum(values) / len(values)
+
+    def test_roundtrip_to_dict(self):
+        sketch = QuantileSketch()
+        sketch.extend([1e-6, 0.0, -3.0, 42.0, 42.0])
+        loaded = QuantileSketch.from_dict(sketch.to_dict())
+        assert loaded.to_dict() == sketch.to_dict()
+        for q in (0, 50, 99, 100):
+            assert loaded.quantile(q) == sketch.quantile(q)
+
+    def test_roundtrip_empty(self):
+        sketch = QuantileSketch()
+        loaded = QuantileSketch.from_dict(sketch.to_dict())
+        assert loaded.count == 0
+        assert loaded.to_dict() == sketch.to_dict()
+
+    def test_alpha_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(0.01).merge(QuantileSketch(0.02))
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=1.0)

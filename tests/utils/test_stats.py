@@ -110,7 +110,29 @@ class TestPercentileAndMeans:
         with pytest.raises(ValueError):
             percentile([1, 2], 101)
         with pytest.raises(ValueError):
+            percentile([1, 2], -0.5)
+        with pytest.raises(ValueError):
             percentile([], 50)
+
+    # Pinned edge behavior: the QuantileSketch ε contract is stated relative
+    # to this function, so these edges are part of the public contract
+    # (docs/scale.md).
+    def test_percentile_empty_raises_for_every_q(self):
+        for q in (0, 50, 100):
+            with pytest.raises(ValueError):
+                percentile([], q)
+
+    def test_percentile_q0_is_exact_min(self):
+        values = [3.1, 0.2, 7.7, 0.2000000001]
+        assert percentile(values, 0) == min(values)
+
+    def test_percentile_q100_is_exact_max(self):
+        values = [3.1, 0.2, 7.7, 7.6999999999]
+        assert percentile(values, 100) == max(values)
+
+    def test_percentile_single_element_for_every_q(self):
+        for q in (0, 1, 50, 99, 100):
+            assert percentile([42.5], q) == 42.5
 
     def test_weighted_mean(self):
         assert weighted_mean([1.0, 3.0], [1.0, 3.0]) == pytest.approx(2.5)

@@ -32,6 +32,7 @@ DEFAULT_PACKAGES = (
     "repro.experiments",
     "repro.faults",
     "repro.diff",
+    "repro.utils",
 )
 
 
